@@ -1,0 +1,84 @@
+// Copyright (c) Maimon-cpp authors. Licensed under the MIT license.
+//
+// Shared helpers for the per-table/figure benchmark harnesses. Each harness
+// prints the same rows/series the paper reports, so EXPERIMENTS.md can put
+// paper-vs-measured side by side. Benchmarks run on scaled-down versions of
+// the Table 2 dataset shapes (see --help of each binary; scaling is always
+// printed next to the numbers).
+
+#ifndef MAIMON_BENCH_BENCH_UTIL_H_
+#define MAIMON_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/maimon.h"
+#include "data/metanome_shapes.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+
+namespace maimon {
+namespace bench {
+
+/// Prints a horizontal rule sized to `width`.
+inline void Rule(int width = 78) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+/// Prints a section header for one experiment.
+inline void Header(const std::string& experiment, const std::string& note) {
+  Rule();
+  std::printf("%s\n", experiment.c_str());
+  if (!note.empty()) std::printf("%s\n", note.c_str());
+  Rule();
+}
+
+/// Generates a scaled dataset for a Table 2 shape, capping the row count so
+/// the whole harness suite stays laptop-friendly. Prints the scale used.
+inline PlantedDataset LoadShaped(const std::string& name, size_t row_cap) {
+  auto shape = FindShape(name);
+  if (!shape.ok()) {
+    std::fprintf(stderr, "unknown dataset %s\n", name.c_str());
+    std::exit(1);
+  }
+  double scale = 1.0;
+  if (shape->paper_rows > row_cap) {
+    scale = static_cast<double>(row_cap) /
+            static_cast<double>(shape->paper_rows);
+  }
+  PlantedDataset d = GenerateShaped(*shape, scale);
+  std::printf("[data] %-22s cols=%-3d paper_rows=%-8zu scaled_rows=%zu "
+              "(scale %.4f)\n",
+              shape->name.c_str(), shape->columns, shape->paper_rows,
+              d.relation.NumRows(), scale);
+  return d;
+}
+
+/// Runs phase one (MVD mining) under a budget and returns the result plus
+/// elapsed seconds.
+struct TimedMvds {
+  MvdMinerResult result;
+  double seconds = 0.0;
+};
+
+inline TimedMvds MineMvdsTimed(const Relation& relation, double epsilon,
+                               double budget_seconds,
+                               size_t k_per_separator = SIZE_MAX) {
+  MaimonConfig config;
+  config.epsilon = epsilon;
+  config.mvd_budget_seconds = budget_seconds;
+  config.mvd.max_full_mvds_per_separator = k_per_separator;
+  Maimon maimon(relation, config);
+  Stopwatch watch;
+  TimedMvds out;
+  out.result = maimon.MineMvds();
+  out.seconds = watch.ElapsedSeconds();
+  return out;
+}
+
+}  // namespace bench
+}  // namespace maimon
+
+#endif  // MAIMON_BENCH_BENCH_UTIL_H_
