@@ -1,0 +1,134 @@
+// Copyright (c) Maimon-cpp authors. Licensed under the MIT license.
+
+#include "core/maimon.h"
+
+#include <string>
+#include <unordered_set>
+#include <utility>
+
+namespace maimon {
+
+Maimon::Maimon(const Relation& relation, MaimonConfig config)
+    : relation_(&relation),
+      config_(config),
+      engine_(std::make_unique<PliEntropyEngine>(relation, config.pli)),
+      calc_(std::make_unique<InfoCalc>(engine_.get())) {}
+
+MvdMinerResult Maimon::MineMvds() {
+  if (mvds_mined_) return mvd_result_;
+  mvds_mined_ = true;
+
+  MvdMinerResult& result = mvd_result_;
+  const Deadline global = config_.mvd_budget_seconds > 0
+                              ? Deadline::After(config_.mvd_budget_seconds)
+                              : Deadline::Infinite();
+  const AttrSet universe = relation_->Universe();
+  const int n = relation_->NumCols();
+  const int num_pairs = n * (n - 1) / 2;
+
+  std::unordered_set<AttrSet, AttrSetHash> sep_set;
+  std::unordered_set<Mvd, MvdHash> mvd_set;
+
+  int pair_index = 0;
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b, ++pair_index) {
+      if (global.Expired()) {
+        result.status = Status::DeadlineExceeded("MVD mining budget");
+        return result;
+      }
+      // Optional per-pair slice of the remaining global budget, so one
+      // explosive pair cannot blank every pair after it.
+      Deadline slice = global;
+      if (config_.mvd.slice_budget_across_pairs &&
+          config_.mvd_budget_seconds > 0) {
+        const int pairs_left = num_pairs - pair_index;
+        slice = Deadline::After(global.RemainingSeconds() /
+                                static_cast<double>(pairs_left));
+      }
+
+      FullMvdSearch search(*calc_, config_.epsilon, &slice);
+      MinSepsResult seps = MineMinSeps(&search, universe, a, b, &slice);
+      if (!seps.status.ok()) result.status = seps.status;
+
+      for (AttrSet s : seps.separators) {
+        if (sep_set.insert(s).second) result.separators.push_back(s);
+        for (Mvd& mvd : search.Find(
+                 s, universe, a, b,
+                 config_.mvd.max_full_mvds_per_separator, /*optimized=*/true)) {
+          if (mvd_set.insert(mvd).second) {
+            result.mvds.push_back(std::move(mvd));
+          }
+        }
+        if (slice.Expired()) {
+          result.status = Status::DeadlineExceeded("full MVD expansion");
+          break;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+AsMinerResult Maimon::MineSchemas() {
+  const MvdMinerResult mined = MineMvds();
+
+  AsMinerResult result;
+  result.status = mined.status;
+  const Deadline deadline =
+      config_.schema_budget_seconds > 0
+          ? Deadline::After(config_.schema_budget_seconds)
+          : Deadline::Infinite();
+  const AttrSet universe = relation_->Universe();
+
+  struct Node {
+    Schema schema;
+    double j_measure;
+  };
+  std::vector<Node> stack;
+  std::unordered_set<std::string> seen;
+  Schema root(universe);
+  seen.insert(root.ToString());
+  stack.push_back({std::move(root), 0.0});
+
+  while (!stack.empty()) {
+    if (deadline.Expired()) {
+      result.status = Status::DeadlineExceeded("schema enumeration budget");
+      break;
+    }
+    if (result.schemas.size() >= config_.schemas.max_schemas) break;
+    Node node = std::move(stack.back());
+    stack.pop_back();
+
+    bool extendable = false;
+    for (const Mvd& phi : mined.mvds) {
+      const AttrSet key = phi.key();
+      for (size_t i = 0; i < node.schema.Relations().size(); ++i) {
+        const AttrSet r = node.schema.Relations()[i];
+        if (!r.ContainsAll(key)) continue;
+        const AttrSet d1 = phi.deps()[0].Intersect(r);
+        const AttrSet d2 = phi.deps()[1].Intersect(r);
+        if (d1.Empty() || d2.Empty()) continue;
+        // MVDs project onto any relation containing the key, so this split
+        // is valid on r with cost at most the mined J (monotonicity).
+        Schema child = node.schema.Split(i, key.Union(d1), key.Union(d2));
+        if (child.NumRelations() <= node.schema.NumRelations()) continue;
+        // A split is only admissible when the flat relation set stays
+        // acyclic: a neighbor whose overlap with r straddles both parts
+        // would close a cycle, and cyclic schemes are outside ASMiner's
+        // search space (and break the join-tree evaluation).
+        if (!child.IsAcyclic()) continue;
+        extendable = true;
+        if (!seen.insert(child.ToString()).second) continue;
+        const double split_j = calc_->MvdMeasure(key, d1, d2);
+        stack.push_back({std::move(child), node.j_measure + split_j});
+      }
+    }
+    if (!extendable) ++result.independent_sets;
+    if (node.schema.NumRelations() >= 2) {
+      result.schemas.push_back({std::move(node.schema), node.j_measure});
+    }
+  }
+  return result;
+}
+
+}  // namespace maimon

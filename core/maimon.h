@@ -1,0 +1,101 @@
+// Copyright (c) Maimon-cpp authors. Licensed under the MIT license.
+//
+// Maimon: the system facade. Owns the relation's PLI entropy engine and the
+// InfoCalc oracle, and exposes the two mining phases:
+//
+//   MineMvds()    — MVDMiner: per attribute pair, enumerate minimal
+//                   separators, then expand each into full MVDs (Sec. 5/6).
+//   MineSchemas() — ASMiner-lite: recursively apply mined MVDs as splits to
+//                   enumerate acyclic schema candidates (Sec. 7). The
+//                   current lattice walk is intentionally shallow — it must
+//                   run end-to-end under a budget; fidelity to Fig. 10 is a
+//                   later PR.
+
+#ifndef MAIMON_CORE_MAIMON_H_
+#define MAIMON_CORE_MAIMON_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/full_mvd.h"
+#include "core/min_seps.h"
+#include "core/mvd.h"
+#include "core/schema.h"
+#include "data/relation.h"
+#include "entropy/info_calc.h"
+#include "entropy/pli_engine.h"
+#include "util/status.h"
+
+namespace maimon {
+
+struct MvdMinerOptions {
+  /// K in getFullMVDs: cap on full MVDs expanded per (separator, pair).
+  size_t max_full_mvds_per_separator = SIZE_MAX;
+  /// Split the MVD budget evenly across attribute pairs so one explosive
+  /// pair cannot consume the whole allowance.
+  bool slice_budget_across_pairs = false;
+};
+
+struct SchemaMinerOptions {
+  /// Stop after this many distinct schemas.
+  size_t max_schemas = 1000;
+};
+
+struct MaimonConfig {
+  /// The approximation threshold (the paper's eps / J bound, in bits).
+  double epsilon = 0.0;
+  /// Wall-clock budgets; <= 0 means unbounded.
+  double mvd_budget_seconds = 0.0;
+  double schema_budget_seconds = 0.0;
+  MvdMinerOptions mvd;
+  SchemaMinerOptions schemas;
+  PliEngineOptions pli;
+};
+
+struct MvdMinerResult {
+  std::vector<AttrSet> separators;  // distinct minimal separators
+  std::vector<Mvd> mvds;            // distinct full MVDs
+  Status status;
+
+  size_t NumSeparators() const { return separators.size(); }
+  size_t NumMvds() const { return mvds.size(); }
+};
+
+struct MinedSchema {
+  Schema schema;
+  double j_measure = 0.0;  // sum of split J costs along the derivation
+};
+
+struct AsMinerResult {
+  std::vector<MinedSchema> schemas;
+  /// Complete (non-extendable) decomposition states enumerated — the
+  /// counterpart of the independent sets ASMiner walks.
+  uint64_t independent_sets = 0;
+  Status status;
+};
+
+class Maimon {
+ public:
+  Maimon(const Relation& relation, MaimonConfig config);
+
+  MvdMinerResult MineMvds();
+  /// Runs MineMvds() first (if not already run), then enumerates schemas.
+  AsMinerResult MineSchemas();
+
+  const InfoCalc& oracle() const { return *calc_; }
+  PliEntropyEngine& engine() { return *engine_; }
+  const MaimonConfig& config() const { return config_; }
+
+ private:
+  const Relation* relation_;
+  MaimonConfig config_;
+  std::unique_ptr<PliEntropyEngine> engine_;
+  std::unique_ptr<InfoCalc> calc_;
+  bool mvds_mined_ = false;
+  MvdMinerResult mvd_result_;
+};
+
+}  // namespace maimon
+
+#endif  // MAIMON_CORE_MAIMON_H_

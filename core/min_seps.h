@@ -1,0 +1,38 @@
+// Copyright (c) Maimon-cpp authors. Licensed under the MIT license.
+//
+// Minimal-separator mining for one attribute pair (a, b): every
+// inclusion-minimal key S ⊆ universe \ {a,b} such that some full MVD
+// S ->> V1 | V2 places a and b on opposite sides at the search's threshold.
+// These keys are the separator candidates MVDMiner walks (the step the
+// paper reports dominates total runtime, Figs. 13/14).
+//
+// Enumeration is an exhaustive size-ascending lattice walk with subset
+// pruning: complete and exactly-minimal, because entropic separation is not
+// monotone and shrink-and-branch shortcuts miss separators. Budget-bounded
+// via Deadline; a partial result with DeadlineExceeded is returned on
+// expiry. (A smarter close-separator walk is a future optimization; see
+// ROADMAP.md.)
+
+#ifndef MAIMON_CORE_MIN_SEPS_H_
+#define MAIMON_CORE_MIN_SEPS_H_
+
+#include <vector>
+
+#include "core/full_mvd.h"
+#include "util/status.h"
+
+namespace maimon {
+
+struct MinSepsResult {
+  std::vector<AttrSet> separators;
+  Status status;  // DeadlineExceeded when the enumeration was cut short
+};
+
+/// `search` carries the entropy oracle and threshold; `deadline` (nullable)
+/// bounds this call and is typically the same object `search` polls.
+MinSepsResult MineMinSeps(FullMvdSearch* search, AttrSet universe, int a,
+                          int b, const Deadline* deadline);
+
+}  // namespace maimon
+
+#endif  // MAIMON_CORE_MIN_SEPS_H_

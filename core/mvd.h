@@ -1,0 +1,54 @@
+// Copyright (c) Maimon-cpp authors. Licensed under the MIT license.
+//
+// Mvd: a full multivalued dependency key ->> deps[0] | deps[1]. The two
+// dependent sets partition the non-key attributes of the universe the MVD
+// was mined over; the key is the separator that witnessed it.
+
+#ifndef MAIMON_CORE_MVD_H_
+#define MAIMON_CORE_MVD_H_
+
+#include <string>
+#include <vector>
+
+#include "util/attr_set.h"
+
+namespace maimon {
+
+class Mvd {
+ public:
+  Mvd() = default;
+  Mvd(AttrSet key, AttrSet left, AttrSet right)
+      : key_(key), deps_{left.Minus(key), right.Minus(key)} {}
+
+  AttrSet key() const { return key_; }
+  const std::vector<AttrSet>& deps() const { return deps_; }
+  AttrSet Attrs() const { return key_.Union(deps_[0]).Union(deps_[1]); }
+
+  std::string ToString() const {
+    return key_.ToString() + " ->> " + deps_[0].ToString() + " | " +
+           deps_[1].ToString();
+  }
+
+  /// Canonical identity: key plus the unordered side pair.
+  friend bool operator==(const Mvd& a, const Mvd& b) {
+    if (a.key_ != b.key_) return false;
+    return (a.deps_[0] == b.deps_[0] && a.deps_[1] == b.deps_[1]) ||
+           (a.deps_[0] == b.deps_[1] && a.deps_[1] == b.deps_[0]);
+  }
+
+ private:
+  AttrSet key_;
+  std::vector<AttrSet> deps_ = {AttrSet(), AttrSet()};
+};
+
+struct MvdHash {
+  size_t operator()(const Mvd& m) const {
+    AttrSetHash h;
+    // Order-insensitive combine over the two sides.
+    return h(m.key()) * 1315423911u ^ (h(m.deps()[0]) + h(m.deps()[1]));
+  }
+};
+
+}  // namespace maimon
+
+#endif  // MAIMON_CORE_MVD_H_

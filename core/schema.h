@@ -1,0 +1,132 @@
+// Copyright (c) Maimon-cpp authors. Licensed under the MIT license.
+//
+// Schema: an acyclic decomposition candidate — a set of relation schemas
+// (attribute sets) covering the universe. Produced by ASMiner's recursive
+// MVD splits, consumed by join/metrics.h for the paper's S/E/J quality
+// numbers.
+
+#ifndef MAIMON_CORE_SCHEMA_H_
+#define MAIMON_CORE_SCHEMA_H_
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "util/attr_set.h"
+
+namespace maimon {
+
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(AttrSet universe) : relations_{universe} {}
+  explicit Schema(std::vector<AttrSet> relations)
+      : relations_(std::move(relations)) {
+    Canonicalize();
+  }
+
+  const std::vector<AttrSet>& Relations() const { return relations_; }
+  int NumRelations() const { return static_cast<int>(relations_.size()); }
+
+  AttrSet UniverseAttrs() const {
+    AttrSet u;
+    for (AttrSet r : relations_) u = u.Union(r);
+    return u;
+  }
+
+  /// Widest relation, in attributes.
+  int Width() const {
+    int w = 0;
+    for (AttrSet r : relations_) w = std::max(w, r.Count());
+    return w;
+  }
+
+  /// Largest pairwise overlap between two relations (the join keys the
+  /// decomposition rides on). 0 for single-relation schemas.
+  int IntersectionWidth() const {
+    int w = 0;
+    for (size_t i = 0; i < relations_.size(); ++i) {
+      for (size_t j = i + 1; j < relations_.size(); ++j) {
+        w = std::max(w, relations_[i].Intersect(relations_[j]).Count());
+      }
+    }
+    return w;
+  }
+
+  /// Replaces relation `index` by two parts (the MVD split step).
+  Schema Split(size_t index, AttrSet part1, AttrSet part2) const {
+    std::vector<AttrSet> next;
+    next.reserve(relations_.size() + 1);
+    for (size_t i = 0; i < relations_.size(); ++i) {
+      if (i != index) next.push_back(relations_[i]);
+    }
+    next.push_back(part1);
+    next.push_back(part2);
+    return Schema(std::move(next));
+  }
+
+  /// GYO reduction: repeatedly remove ears (relations whose attributes
+  /// shared with the rest all sit inside one other relation) until nothing
+  /// changes; the hypergraph is acyclic iff one relation remains. Every
+  /// schema ASMiner emits must pass this — join-size counting and the
+  /// join-tree J measure are only meaningful on acyclic schemes.
+  bool IsAcyclic() const {
+    std::vector<AttrSet> rels = relations_;
+    bool changed = true;
+    while (changed && rels.size() > 1) {
+      changed = false;
+      for (size_t i = 0; i < rels.size(); ++i) {
+        AttrSet shared;
+        for (size_t j = 0; j < rels.size(); ++j) {
+          if (j != i) shared = shared.Union(rels[i].Intersect(rels[j]));
+        }
+        bool is_ear = false;
+        for (size_t j = 0; j < rels.size() && !is_ear; ++j) {
+          if (j != i && rels[j].ContainsAll(shared)) is_ear = true;
+        }
+        if (is_ear) {
+          rels.erase(rels.begin() + static_cast<long>(i));
+          changed = true;
+          break;
+        }
+      }
+    }
+    return rels.size() <= 1;
+  }
+
+  /// "[ABD][DE]" — relations in canonical (sorted) order, so the string
+  /// doubles as a dedup key.
+  std::string ToString() const {
+    std::string out;
+    for (AttrSet r : relations_) out += "[" + r.ToString() + "]";
+    return out;
+  }
+
+  friend bool operator==(const Schema& a, const Schema& b) {
+    return a.relations_ == b.relations_;
+  }
+
+ private:
+  void Canonicalize() {
+    std::sort(relations_.begin(), relations_.end());
+    // Drop relations subsumed by another (can arise from projected splits).
+    std::vector<AttrSet> kept;
+    for (AttrSet r : relations_) {
+      bool subsumed = false;
+      for (AttrSet other : relations_) {
+        if (other != r && other.ContainsAll(r)) {
+          subsumed = true;
+          break;
+        }
+      }
+      if (!subsumed && (kept.empty() || kept.back() != r)) kept.push_back(r);
+    }
+    relations_ = std::move(kept);
+  }
+
+  std::vector<AttrSet> relations_;
+};
+
+}  // namespace maimon
+
+#endif  // MAIMON_CORE_SCHEMA_H_

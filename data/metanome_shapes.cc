@@ -1,0 +1,65 @@
+// Copyright (c) Maimon-cpp authors. Licensed under the MIT license.
+
+#include "data/metanome_shapes.h"
+
+#include <algorithm>
+
+namespace maimon {
+
+const std::vector<DatasetShape>& Table2Shapes() {
+  // name, cols, rows, paper_time_s, paper_TL, paper_mvds, bags, domain, noise
+  static const std::vector<DatasetShape> kShapes = {
+      {"Iris", 5, 150, 1, false, 4, 2, 8, 0.02},
+      {"Balance Scale", 5, 625, 1, false, 10, 2, 5, 0.02},
+      {"Chess", 7, 28056, 14, false, 35, 2, 12, 0.02},
+      {"Abalone", 9, 4177, 41, false, 64, 2, 24, 0.03},
+      {"Nursery", 9, 12960, 58, false, 220, 3, 5, 0.0},
+      {"Breast-Cancer", 11, 699, 127, false, 378, 3, 11, 0.03},
+      {"Bridges", 13, 108, 393, false, 1443, 3, 8, 0.04},
+      {"Echocardiogram", 13, 132, 441, false, 1612, 3, 10, 0.04},
+      {"Classification", 12, 70859, 824, false, 902, 3, 16, 0.02},
+      {"Adult", 14, 48842, 1925, false, 3412, 4, 18, 0.03},
+      {"FD_Reduced_15", 15, 250000, 2804, false, 4861, 4, 20, 0.02},
+      {"Four Square (Spots)", 15, 973516, 3970, false, 5190, 4, 24, 0.02},
+      {"Image", 12, 777996, 1105, false, 1046, 3, 20, 0.02},
+      {"Ditag Feature", 13, 3960124, 6617, false, 1258, 3, 22, 0.02},
+      {"Letter", 17, 20000, 0, true, 9779, 4, 26, 0.03},
+      {"Hepatitis", 20, 155, 0, true, 12415, 5, 8, 0.04},
+      {"Voter State", 53, 100001, 0, true, -1, 8, 30, 0.03},
+      {"Entity Source", 46, 26139, 0, true, -1, 8, 24, 0.03},
+      {"Census", 42, 199524, 0, true, -1, 8, 32, 0.03},
+      {"Horse", 27, 368, 0, true, -1, 6, 12, 0.04},
+  };
+  return kShapes;
+}
+
+ShapeLookup FindShape(const std::string& name) {
+  for (const DatasetShape& shape : Table2Shapes()) {
+    if (shape.name == name) return ShapeLookup(&shape);
+  }
+  return ShapeLookup(nullptr);
+}
+
+PlantedDataset GenerateShaped(const DatasetShape& shape, double scale) {
+  const size_t rows = std::max<size_t>(
+      16, static_cast<size_t>(static_cast<double>(shape.paper_rows) * scale));
+
+  PlantedSpec spec;
+  spec.num_attrs = std::min<int>(shape.columns, AttrSet::kMaxAttrs);
+  spec.num_bags = std::max(1, shape.bags);
+  spec.root_rows = std::max<size_t>(4, rows / 4);
+  spec.max_rows = rows;
+  spec.noise_fraction = shape.noise;
+  spec.domain_size = shape.domain_size;
+  spec.branch_factor = 3;
+  // Stable per-shape seed (FNV-1a over the name).
+  uint64_t seed = 0xcbf29ce484222325ULL;
+  for (char c : shape.name) {
+    seed ^= static_cast<unsigned char>(c);
+    seed *= 0x100000001b3ULL;
+  }
+  spec.seed = seed;
+  return GeneratePlanted(spec);
+}
+
+}  // namespace maimon

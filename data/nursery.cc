@@ -1,0 +1,46 @@
+// Copyright (c) Maimon-cpp authors. Licensed under the MIT license.
+
+#include "data/nursery.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace maimon {
+
+Relation NurseryDataset() {
+  // parents, has_nurs, form, children, housing, finance, social, health.
+  const uint32_t kDomains[8] = {3, 5, 4, 4, 3, 2, 3, 3};
+
+  std::vector<std::vector<uint32_t>> rows;
+  rows.reserve(12960);
+  uint32_t v[8] = {0};
+  while (true) {
+    // Class attribute: a deterministic decision rule over the inputs,
+    // echoing the original label structure (health dominates, then a
+    // weighted tally of the social/financial inputs). Determinism is the
+    // property the mining pipeline depends on: H(class | inputs) = 0.
+    uint32_t cls;
+    if (v[7] == 0) {
+      cls = 0;  // not_recom when health is "not_recom"
+    } else {
+      const uint32_t score =
+          v[0] + v[1] + (v[2] >> 1) + (v[3] >> 1) + v[4] + v[5] + v[6] + v[7];
+      cls = 1 + std::min<uint32_t>(3, score / 4);
+    }
+    std::vector<uint32_t> row(9);
+    for (int c = 0; c < 8; ++c) row[static_cast<size_t>(c)] = v[c];
+    row[8] = cls;
+    rows.push_back(std::move(row));
+
+    int pos = 7;
+    while (pos >= 0) {
+      if (++v[pos] < kDomains[pos]) break;
+      v[pos] = 0;
+      --pos;
+    }
+    if (pos < 0) break;
+  }
+  return Relation::FromRows(rows, 9);
+}
+
+}  // namespace maimon

@@ -1,0 +1,23 @@
+// Copyright (c) Maimon-cpp authors. Licensed under the MIT license.
+//
+// The Nursery use case (Sec. 8.1). UCI Nursery is the full Cartesian
+// product of eight categorical input attributes (domains 3,5,4,4,3,2,3,3 —
+// 12,960 combinations) plus one class attribute that is a deterministic
+// function of the inputs: 12,960 rows, 9 attributes, 116,640 cells. The
+// product structure (not the original label values) is what the paper's
+// decompositions exploit, so the dataset is regenerated exactly: every
+// input combination once, and a fixed rule set for the class column.
+
+#ifndef MAIMON_DATA_NURSERY_H_
+#define MAIMON_DATA_NURSERY_H_
+
+#include "data/relation.h"
+
+namespace maimon {
+
+/// 12,960 rows x 9 attributes; attribute 8 is the class.
+Relation NurseryDataset();
+
+}  // namespace maimon
+
+#endif  // MAIMON_DATA_NURSERY_H_

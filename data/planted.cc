@@ -1,0 +1,137 @@
+// Copyright (c) Maimon-cpp authors. Licensed under the MIT license.
+
+#include "data/planted.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace maimon {
+namespace {
+
+// Deterministic value mixer: the generated relation is a pure function of
+// (seed, structural coordinates), independent of generation order.
+uint32_t Mix(uint64_t seed, uint64_t a, uint64_t b, uint64_t c, uint64_t d,
+             uint32_t domain) {
+  uint64_t x = seed ^ (a * 0x9e3779b97f4a7c15ULL) ^
+               (b * 0xc2b2ae3d27d4eb4fULL) ^ (c * 0x165667b19e3779f9ULL) ^
+               (d * 0x27d4eb2f165667c5ULL);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return static_cast<uint32_t>(x % domain);
+}
+
+}  // namespace
+
+PlantedDataset GeneratePlanted(const PlantedSpec& spec) {
+  const int n = std::max(1, spec.num_attrs);
+  const int k = std::max(1, std::min(spec.num_bags, n));
+  const uint32_t domain = std::max<uint32_t>(2, spec.domain_size);
+  size_t root_rows = std::max<size_t>(1, spec.root_rows);
+  const size_t max_rows =
+      spec.max_rows > 0 ? spec.max_rows : root_rows * 4;
+  if (root_rows > max_rows) root_rows = max_rows;
+
+  // Contiguous bags, as even as possible. The separator between the chain
+  // prefix B1..Bi and the rest is the last attribute of bag i.
+  std::vector<AttrSet> bags(static_cast<size_t>(k));
+  std::vector<int> bag_of(static_cast<size_t>(n));
+  for (int a = 0; a < n; ++a) {
+    const int bag = std::min(k - 1, a * k / n);
+    bags[static_cast<size_t>(bag)].Add(a);
+    bag_of[static_cast<size_t>(a)] = bag;
+  }
+  std::vector<int> seps(static_cast<size_t>(k), -1);
+  for (int i = 0; i + 1 < k; ++i) {
+    const std::vector<int> members = bags[static_cast<size_t>(i)].ToVector();
+    seps[static_cast<size_t>(i)] = members.back();
+  }
+
+  // Per-bag branch factors multiplying root_rows up to ~max_rows. The
+  // relation is the exact join expansion, so every planted MVD holds
+  // exactly on the noise-free multiset (conditional combos factorize).
+  std::vector<uint32_t> branch(static_cast<size_t>(k), 1);
+  size_t mult_target = std::max<size_t>(1, max_rows / root_rows);
+  for (int i = 1; i < k && mult_target > 1; ++i) {
+    const uint32_t b = static_cast<uint32_t>(std::min<size_t>(
+        std::max<uint32_t>(1, spec.branch_factor), mult_target));
+    branch[static_cast<size_t>(i)] = b;
+    mult_target /= b;
+  }
+
+  // Expand: row = (root pattern p, branch choices b_1..b_{k-1}). Bag 0 is a
+  // function of p; bag i >= 1 is a function of (value of sep_{i-1}, b_i).
+  // The pattern count is derived from the target so generation ends at a
+  // pattern boundary: every root pattern carries its complete branch
+  // product, which is what keeps the planted MVDs exact on the multiset.
+  size_t product = 1;
+  for (uint32_t b : branch) product *= b;
+  const size_t patterns = std::max<size_t>(1, max_rows / product);
+  std::vector<std::vector<uint32_t>> rows;
+  std::vector<uint32_t> tuple(static_cast<size_t>(n));
+  std::vector<uint32_t> choice(static_cast<size_t>(k), 0);
+  for (size_t p = 0; p < patterns && rows.size() < max_rows; ++p) {
+    std::fill(choice.begin(), choice.end(), 0);
+    while (true) {
+      for (int i = 0; i < k; ++i) {
+        const uint64_t context =
+            i == 0 ? p
+                   : uint64_t{tuple[static_cast<size_t>(
+                         seps[static_cast<size_t>(i - 1)])]};
+        for (int a : bags[static_cast<size_t>(i)].ToVector()) {
+          tuple[static_cast<size_t>(a)] =
+              Mix(spec.seed, static_cast<uint64_t>(i), context,
+                  choice[static_cast<size_t>(i)], static_cast<uint64_t>(a),
+                  domain);
+        }
+      }
+      rows.push_back(tuple);
+      if (rows.size() >= max_rows) break;
+      // Odometer over branch choices (bag 0 has a single choice).
+      int pos = k - 1;
+      while (pos >= 1) {
+        if (++choice[static_cast<size_t>(pos)] <
+            branch[static_cast<size_t>(pos)]) {
+          break;
+        }
+        choice[static_cast<size_t>(pos)] = 0;
+        --pos;
+      }
+      if (pos < 1) break;
+    }
+  }
+
+  // Noise: replace a fraction of rows with uniform tuples (the knob that
+  // turns exact planted MVDs into approximate ones).
+  if (spec.noise_fraction > 0.0) {
+    Rng rng(spec.seed ^ 0x6e6f697365ULL);  // "noise"
+    for (auto& row : rows) {
+      if (rng.Bernoulli(spec.noise_fraction)) {
+        for (auto& cell : row) {
+          cell = static_cast<uint32_t>(rng.Uniform(domain));
+        }
+      }
+    }
+  }
+
+  // Ground-truth support MVDs: one per chain separator.
+  std::vector<Mvd> support;
+  AttrSet prefix;
+  for (int i = 0; i + 1 < k; ++i) {
+    prefix = prefix.Union(bags[static_cast<size_t>(i)]);
+    const AttrSet key = AttrSet::Single(seps[static_cast<size_t>(i)]);
+    AttrSet suffix = AttrSet::Universe(n).Minus(prefix);
+    const AttrSet left = prefix.Minus(key);
+    if (left.Empty() || suffix.Empty()) continue;
+    support.emplace_back(key, left, suffix);
+  }
+
+  PlantedDataset out{Relation::FromRows(rows, n),
+                     PlantedSchema(bags, std::move(support))};
+  return out;
+}
+
+}  // namespace maimon

@@ -1,0 +1,68 @@
+// Copyright (c) Maimon-cpp authors. Licensed under the MIT license.
+//
+// Synthetic relations with planted acyclic (bag/join-tree) structure. The
+// generator builds a chain of attribute bags B1..Bk; each bag's values are
+// a deterministic function of one designated separator attribute of the
+// previous bag plus independent branch randomness. By construction, for
+// every chain position i the MVD
+//
+//     {sep_i}  ->>  (B1 ∪ .. ∪ Bi) \ sep_i  |  B_{i+1} ∪ .. ∪ Bk
+//
+// holds exactly on the noise-free relation (conditional independence given
+// the separator value). `noise_fraction` of the rows are replaced by fully
+// random tuples, turning the exact MVDs into approximate ones — the planted
+// ground truth every accuracy figure measures against.
+
+#ifndef MAIMON_DATA_PLANTED_H_
+#define MAIMON_DATA_PLANTED_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/mvd.h"
+#include "data/relation.h"
+
+namespace maimon {
+
+struct PlantedSpec {
+  int num_attrs = 8;
+  int num_bags = 2;
+  /// Distinct root patterns for the first bag (drives H of the root part).
+  size_t root_rows = 256;
+  /// Total rows to generate; 0 means 4 * root_rows.
+  size_t max_rows = 0;
+  /// Fraction of rows replaced by uniform random tuples.
+  double noise_fraction = 0.0;
+  /// Value domain per attribute.
+  uint32_t domain_size = 16;
+  /// Branching: distinct continuations per separator value per bag.
+  uint32_t branch_factor = 3;
+  uint64_t seed = 1;
+};
+
+/// The planted ground truth: the bags and the support MVDs they induce.
+class PlantedSchema {
+ public:
+  PlantedSchema() = default;
+  PlantedSchema(std::vector<AttrSet> bags, std::vector<Mvd> support)
+      : bags_(std::move(bags)), support_(std::move(support)) {}
+
+  const std::vector<AttrSet>& Bags() const { return bags_; }
+  /// The planted full MVDs (one per chain separator).
+  const std::vector<Mvd>& Support() const { return support_; }
+
+ private:
+  std::vector<AttrSet> bags_;
+  std::vector<Mvd> support_;
+};
+
+struct PlantedDataset {
+  Relation relation;
+  PlantedSchema schema;
+};
+
+PlantedDataset GeneratePlanted(const PlantedSpec& spec);
+
+}  // namespace maimon
+
+#endif  // MAIMON_DATA_PLANTED_H_

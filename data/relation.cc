@@ -1,0 +1,70 @@
+// Copyright (c) Maimon-cpp authors. Licensed under the MIT license.
+
+#include "data/relation.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+#include "util/rng.h"
+
+namespace maimon {
+
+Relation::Relation(std::vector<std::vector<uint32_t>> columns,
+                   std::vector<uint32_t> domain_sizes)
+    : columns_(std::move(columns)), domain_sizes_(std::move(domain_sizes)) {
+  assert(columns_.size() == domain_sizes_.size());
+  num_rows_ = columns_.empty() ? 0 : columns_[0].size();
+  for (const auto& col : columns_) {
+    assert(col.size() == num_rows_);
+    (void)col;
+  }
+}
+
+Relation Relation::FromRows(const std::vector<std::vector<uint32_t>>& rows,
+                            int num_cols) {
+  std::vector<std::vector<uint32_t>> columns(num_cols);
+  std::vector<uint32_t> domains(num_cols);
+  for (int c = 0; c < num_cols; ++c) {
+    columns[c].reserve(rows.size());
+    std::unordered_map<uint32_t, uint32_t> dict;
+    for (const auto& row : rows) {
+      auto [it, inserted] =
+          dict.emplace(row[c], static_cast<uint32_t>(dict.size()));
+      columns[c].push_back(it->second);
+      (void)inserted;
+    }
+    domains[c] = static_cast<uint32_t>(dict.empty() ? 1 : dict.size());
+  }
+  return Relation(std::move(columns), std::move(domains));
+}
+
+Relation Relation::SampleRows(double fraction, uint64_t seed) const {
+  Rng rng(seed ^ 0x5a5a5a5a5a5a5a5aULL);
+  std::vector<size_t> keep;
+  keep.reserve(static_cast<size_t>(static_cast<double>(num_rows_) * fraction) +
+               1);
+  for (size_t r = 0; r < num_rows_; ++r) {
+    if (rng.Bernoulli(fraction)) keep.push_back(r);
+  }
+  if (keep.empty() && num_rows_ > 0) keep.push_back(0);
+
+  std::vector<std::vector<uint32_t>> columns(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    columns[c].reserve(keep.size());
+    for (size_t r : keep) columns[c].push_back(columns_[c][r]);
+  }
+  return Relation(std::move(columns), domain_sizes_);
+}
+
+Relation Relation::ProjectWithDuplicates(AttrSet attrs) const {
+  std::vector<std::vector<uint32_t>> columns;
+  std::vector<uint32_t> domains;
+  for (int c : attrs.ToVector()) {
+    columns.push_back(columns_[c]);
+    domains.push_back(domain_sizes_[c]);
+  }
+  return Relation(std::move(columns), std::move(domains));
+}
+
+}  // namespace maimon

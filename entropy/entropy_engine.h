@@ -1,0 +1,32 @@
+// Copyright (c) Maimon-cpp authors. Licensed under the MIT license.
+//
+// EntropyEngine: the one-method interface every mining layer talks to.
+// H(X) for an attribute set X of the bound relation, in bits. Two
+// implementations exist: NaiveEntropyEngine (full-scan group-by per query,
+// the correctness oracle) and PliEntropyEngine (cached stripped-partition
+// intersections, Sec. 6.3 — the one that makes MVDMiner feasible).
+
+#ifndef MAIMON_ENTROPY_ENTROPY_ENGINE_H_
+#define MAIMON_ENTROPY_ENTROPY_ENGINE_H_
+
+#include <cstdint>
+
+#include "util/attr_set.h"
+
+namespace maimon {
+
+class EntropyEngine {
+ public:
+  virtual ~EntropyEngine() = default;
+
+  /// Shannon entropy H(X) in bits of the projection onto `attrs`.
+  /// H({}) == 0 by convention.
+  virtual double Entropy(AttrSet attrs) = 0;
+
+  /// Total entropy queries answered (cache hits included).
+  virtual uint64_t NumQueries() const = 0;
+};
+
+}  // namespace maimon
+
+#endif  // MAIMON_ENTROPY_ENTROPY_ENGINE_H_

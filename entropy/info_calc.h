@@ -1,0 +1,54 @@
+// Copyright (c) Maimon-cpp authors. Licensed under the MIT license.
+//
+// InfoCalc: information-theoretic measures on top of an EntropyEngine.
+// The miner never touches entropies directly — it asks for conditional
+// mutual information I(A;B|C), which is the J measure deciding whether a
+// candidate split is an (approximate) MVD: key ->> V1 | V2 holds at
+// threshold eps iff I(V1;V2|key) <= eps.
+
+#ifndef MAIMON_ENTROPY_INFO_CALC_H_
+#define MAIMON_ENTROPY_INFO_CALC_H_
+
+#include <cstdint>
+
+#include "entropy/entropy_engine.h"
+#include "util/attr_set.h"
+
+namespace maimon {
+
+class InfoCalc {
+ public:
+  explicit InfoCalc(EntropyEngine* engine) : engine_(engine) {}
+
+  double Entropy(AttrSet x) const { return engine_->Entropy(x); }
+
+  /// I(A;B|C) = H(AC) + H(BC) - H(C) - H(ABC), clamped to [0, inf) against
+  /// floating-point cancellation. A and B are taken disjoint from C.
+  double CondMutualInfo(AttrSet a, AttrSet b, AttrSet c) const {
+    ++evaluations_;
+    a = a.Minus(c);
+    b = b.Minus(c);
+    const double h_ac = engine_->Entropy(a.Union(c));
+    const double h_bc = engine_->Entropy(b.Union(c));
+    const double h_c = engine_->Entropy(c);
+    const double h_abc = engine_->Entropy(a.Union(b).Union(c));
+    const double i = h_ac + h_bc - h_c - h_abc;
+    return i > 0.0 ? i : 0.0;
+  }
+
+  /// The MVD approximation measure of the split key ->> v1 | v2.
+  double MvdMeasure(AttrSet key, AttrSet v1, AttrSet v2) const {
+    return CondMutualInfo(v1, v2, key);
+  }
+
+  uint64_t num_evaluations() const { return evaluations_; }
+  EntropyEngine* engine() const { return engine_; }
+
+ private:
+  EntropyEngine* engine_;
+  mutable uint64_t evaluations_ = 0;
+};
+
+}  // namespace maimon
+
+#endif  // MAIMON_ENTROPY_INFO_CALC_H_

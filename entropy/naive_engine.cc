@@ -1,0 +1,47 @@
+// Copyright (c) Maimon-cpp authors. Licensed under the MIT license.
+
+#include "entropy/naive_engine.h"
+
+#include <cmath>
+#include <unordered_map>
+
+namespace maimon {
+
+double NaiveEntropyEngine::Entropy(AttrSet attrs) {
+  ++num_queries_;
+  const size_t n = relation_->NumRows();
+  if (n == 0 || attrs.Empty()) return 0.0;
+
+  // Full-scan group-by via iterative re-encoding: fold one column at a time
+  // into a dense group id. Exact (no hash-collision risk on the group key:
+  // the map key is the (group id, code) pair itself).
+  std::vector<uint32_t> group_ids(n, 0);
+  uint32_t num_groups = 1;
+  for (int c : attrs.ToVector()) {
+    const std::vector<uint32_t>& col = relation_->Column(c);
+    std::unordered_map<uint64_t, uint32_t> dict;
+    dict.reserve(num_groups * 2);
+    for (size_t r = 0; r < n; ++r) {
+      const uint64_t key =
+          (static_cast<uint64_t>(group_ids[r]) << 32) | col[r];
+      auto [it, inserted] =
+          dict.emplace(key, static_cast<uint32_t>(dict.size()));
+      group_ids[r] = it->second;
+      (void)inserted;
+    }
+    num_groups = static_cast<uint32_t>(dict.size());
+  }
+
+  std::vector<uint32_t> counts(num_groups, 0);
+  for (uint32_t id : group_ids) ++counts[id];
+
+  const double dn = static_cast<double>(n);
+  double h = 0.0;
+  for (uint32_t c : counts) {
+    const double p = static_cast<double>(c) / dn;
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+}  // namespace maimon

@@ -1,0 +1,34 @@
+// Copyright (c) Maimon-cpp authors. Licensed under the MIT license.
+//
+// NaiveEntropyEngine: one full-scan hash group-by per entropy query. This is
+// the O(n) per-distinct-attribute-set baseline the paper argues is too slow
+// to drive separator mining (Sec. 6.3) — kept as the correctness oracle and
+// as the perf baseline for bench_entropy_engine.
+
+#ifndef MAIMON_ENTROPY_NAIVE_ENGINE_H_
+#define MAIMON_ENTROPY_NAIVE_ENGINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/relation.h"
+#include "entropy/entropy_engine.h"
+
+namespace maimon {
+
+class NaiveEntropyEngine : public EntropyEngine {
+ public:
+  explicit NaiveEntropyEngine(const Relation& relation)
+      : relation_(&relation) {}
+
+  double Entropy(AttrSet attrs) override;
+  uint64_t NumQueries() const override { return num_queries_; }
+
+ private:
+  const Relation* relation_;
+  uint64_t num_queries_ = 0;
+};
+
+}  // namespace maimon
+
+#endif  // MAIMON_ENTROPY_NAIVE_ENGINE_H_

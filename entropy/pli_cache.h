@@ -1,0 +1,123 @@
+// Copyright (c) Maimon-cpp authors. Licensed under the MIT license.
+//
+// PliCache: byte-budgeted LRU cache of materialized stripped partitions,
+// keyed by attribute set. The PLI engine consults it before every
+// intersection chain; MVDMiner's query stream has heavy prefix overlap
+// (separator candidates differ in one or two attributes), which is what
+// makes this cache the difference between feasible and infeasible mining.
+//
+// Values live in std::list nodes, so the pointer returned by Get/Put stays
+// valid until that entry itself is evicted — callers may keep using a
+// partition while inserting others, as Put never evicts the entry it just
+// inserted.
+
+#ifndef MAIMON_ENTROPY_PLI_CACHE_H_
+#define MAIMON_ENTROPY_PLI_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <utility>
+
+#include "entropy/stripped_partition.h"
+#include "util/attr_set.h"
+
+namespace maimon {
+
+class PliCache {
+ public:
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;
+    size_t bytes = 0;  // current resident partition bytes
+  };
+
+  explicit PliCache(size_t capacity_bytes) : capacity_bytes_(capacity_bytes) {}
+
+  /// Looks up `key`, promoting it to most-recently-used. Counts a hit or a
+  /// miss. The pointer is valid until this entry is evicted.
+  const StrippedPartition* Get(AttrSet key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      ++stats_.misses;
+      return nullptr;
+    }
+    ++stats_.hits;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return &it->second->partition;
+  }
+
+  bool Contains(AttrSet key) const { return index_.count(key) != 0; }
+
+  /// Like Get, but without hit/miss accounting: for internal probes (e.g.
+  /// the engine re-fetching a subset it just located via ForEachKey) that
+  /// would otherwise inflate the hit rate. Still promotes to MRU.
+  const StrippedPartition* Touch(AttrSet key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) return nullptr;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return &it->second->partition;
+  }
+
+  /// Inserts (or refreshes) `key`. Evicts least-recently-used entries until
+  /// the byte budget holds, but never the entry being inserted; an entry
+  /// larger than the whole budget is rejected. Returns the resident
+  /// partition, or nullptr if rejected.
+  const StrippedPartition* Put(AttrSet key, StrippedPartition partition) {
+    const size_t cost = partition.MemoryBytes();
+    if (cost > capacity_bytes_) return nullptr;
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      stats_.bytes -= it->second->partition.MemoryBytes();
+      it->second->partition = std::move(partition);
+      stats_.bytes += cost;
+      lru_.splice(lru_.begin(), lru_, it->second);
+      EvictUntilFits(&*lru_.begin());
+      return &lru_.begin()->partition;
+    }
+    lru_.push_front(Entry{key, std::move(partition)});
+    index_[key] = lru_.begin();
+    stats_.bytes += cost;
+    ++stats_.insertions;
+    EvictUntilFits(&*lru_.begin());
+    return &lru_.begin()->partition;
+  }
+
+  /// Visits every resident key (no LRU promotion, no hit accounting).
+  template <typename Fn>
+  void ForEachKey(Fn fn) const {
+    for (const Entry& e : lru_) fn(e.key);
+  }
+
+  size_t size() const { return index_.size(); }
+  size_t capacity_bytes() const { return capacity_bytes_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    AttrSet key;
+    StrippedPartition partition;
+  };
+
+  void EvictUntilFits(const Entry* keep) {
+    while (stats_.bytes > capacity_bytes_ && !lru_.empty()) {
+      Entry& victim = lru_.back();
+      if (&victim == keep) break;
+      stats_.bytes -= victim.partition.MemoryBytes();
+      index_.erase(victim.key);
+      lru_.pop_back();
+      ++stats_.evictions;
+    }
+  }
+
+  size_t capacity_bytes_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<AttrSet, std::list<Entry>::iterator, AttrSetHash> index_;
+  Stats stats_;
+};
+
+}  // namespace maimon
+
+#endif  // MAIMON_ENTROPY_PLI_CACHE_H_

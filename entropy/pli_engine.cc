@@ -1,0 +1,115 @@
+// Copyright (c) Maimon-cpp authors. Licensed under the MIT license.
+
+#include "entropy/pli_engine.h"
+
+#include <cassert>
+
+namespace maimon {
+
+PliEntropyEngine::PliEntropyEngine(const Relation& relation,
+                                   PliEngineOptions options)
+    : relation_(&relation),
+      options_(options),
+      cache_(options.cache_capacity_bytes),
+      scratch_(relation.NumRows(), -1) {
+  if (options_.block_size < 1) options_.block_size = 1;
+  singles_.reserve(static_cast<size_t>(relation.NumCols()));
+  for (int c = 0; c < relation.NumCols(); ++c) {
+    singles_.push_back(
+        StrippedPartition::FromColumn(relation.Column(c), relation.DomainSize(c)));
+  }
+}
+
+AttrSet PliEntropyEngine::BestCachedSubset(AttrSet attrs) const {
+  AttrSet best;
+  int best_count = 0;
+  cache_.ForEachKey([&](AttrSet key) {
+    if (attrs.ContainsAll(key) && key.Count() > best_count) {
+      best = key;
+      best_count = key.Count();
+    }
+  });
+  return best;
+}
+
+double PliEntropyEngine::Entropy(AttrSet attrs) {
+  ++num_queries_;
+  if (attrs.Empty() || relation_->NumRows() == 0) return 0.0;
+  assert(relation_->Universe().ContainsAll(attrs));
+
+  if (options_.cache_entropy_values) {
+    auto it = entropy_memo_.find(attrs);
+    if (it != entropy_memo_.end()) {
+      ++value_hits_;
+      return it->second;
+    }
+  }
+
+  // Single attribute: the base PLI is already materialized.
+  if (attrs.Count() == 1) {
+    const double h = singles_[static_cast<size_t>(attrs.First())].Entropy();
+    if (options_.cache_entropy_values) entropy_memo_.emplace(attrs, h);
+    return h;
+  }
+
+  // Exact-partition probe — the accounted hit/miss event: a hit means the
+  // partition cache served this attribute set outright, a miss means
+  // intersection work follows.
+  if (const StrippedPartition* exact = cache_.Get(attrs)) {
+    const double h = exact->Entropy();
+    if (options_.cache_entropy_values) entropy_memo_.emplace(attrs, h);
+    return h;
+  }
+
+  // Stage 1: best cached starting point. `cur` aliases either a cache
+  // resident or a base PLI; it is only read until the first Intersect.
+  AttrSet have = BestCachedSubset(attrs);
+  const StrippedPartition* cur = nullptr;
+  if (have.Any()) {
+    cur = cache_.Touch(have);  // internal probe: promotes, no accounting
+    assert(cur != nullptr);
+  } else {
+    const int first = attrs.First();
+    have = AttrSet::Single(first);
+    cur = &singles_[static_cast<size_t>(first)];
+  }
+
+  // Stage 2: fold in the missing attributes one base PLI at a time, staging
+  // block-sized intermediates into the LRU cache so later queries that share
+  // the prefix start further along.
+  StrippedPartition owned;  // backing storage once `cur` is a fresh product
+  for (int c : attrs.Minus(have).ToVector()) {
+    owned = cur->Intersect(singles_[static_cast<size_t>(c)], &scratch_);
+    ++intersections_;
+    have.Add(c);
+    cur = &owned;
+    if (have.Count() <= options_.block_size && have != attrs &&
+        owned.MemoryBytes() <= cache_.capacity_bytes()) {
+      // Put cannot reject (capacity pre-checked), so `owned` may be moved
+      // into the cache and `cur` re-pointed at the resident copy.
+      cur = cache_.Put(have, std::move(owned));
+      assert(cur != nullptr);
+    }
+  }
+
+  const double h = cur->Entropy();
+  // The full query partition is also worth staging when narrow enough:
+  // MVDMiner re-queries supersets of it immediately.
+  if (attrs.Count() <= options_.block_size && cur == &owned &&
+      owned.MemoryBytes() <= cache_.capacity_bytes()) {
+    cache_.Put(attrs, std::move(owned));
+  }
+  if (options_.cache_entropy_values) entropy_memo_.emplace(attrs, h);
+  return h;
+}
+
+PliEntropyEngine::Stats PliEntropyEngine::stats() const {
+  Stats s;
+  s.queries = num_queries_;
+  s.value_hits = value_hits_;
+  s.intersections = intersections_;
+  s.cache = cache_.stats();
+  return s;
+}
+
+}  // namespace maimon

@@ -1,0 +1,159 @@
+// Copyright (c) Maimon-cpp authors. Licensed under the MIT license.
+
+#include "entropy/stripped_partition.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace maimon {
+namespace {
+
+// Per-thread grow-only buffers for Intersect: group-id occurrence counts and
+// scatter offsets, indexed by left-partition group id. Entries are always
+// reset to 0 before Intersect returns, so the vectors stay zero-filled
+// between calls and the hot loop never allocates once they have grown to the
+// largest group count seen on this thread.
+thread_local std::vector<int32_t> tl_counts;
+thread_local std::vector<int32_t> tl_offsets;
+thread_local std::vector<int32_t> tl_touched;
+
+}  // namespace
+
+StrippedPartition StrippedPartition::FromColumn(
+    const std::vector<uint32_t>& codes, uint32_t domain_size) {
+  StrippedPartition out;
+  out.num_rows_ = codes.size();
+
+  std::vector<int32_t> counts(domain_size, 0);
+  for (uint32_t code : codes) {
+    assert(code < domain_size);
+    ++counts[code];
+  }
+
+  // Offsets for codes that form non-singleton groups; -1 marks stripped.
+  size_t kept_rows = 0;
+  size_t kept_groups = 0;
+  for (int32_t c : counts) {
+    if (c >= 2) {
+      kept_rows += static_cast<size_t>(c);
+      ++kept_groups;
+    }
+  }
+  out.rows_.resize(kept_rows);
+  out.starts_.reserve(kept_groups + 1);
+
+  std::vector<int32_t> write_pos(domain_size, -1);
+  int32_t cursor = 0;
+  for (uint32_t code = 0; code < domain_size; ++code) {
+    if (counts[code] >= 2) {
+      out.starts_.push_back(cursor);
+      write_pos[code] = cursor;
+      cursor += counts[code];
+    }
+  }
+  if (kept_groups > 0) out.starts_.push_back(cursor);
+
+  for (size_t r = 0; r < codes.size(); ++r) {
+    int32_t& pos = write_pos[codes[r]];
+    if (pos >= 0) out.rows_[static_cast<size_t>(pos++)] = static_cast<int32_t>(r);
+  }
+  return out;
+}
+
+StrippedPartition StrippedPartition::Identity(size_t num_rows) {
+  StrippedPartition out;
+  out.num_rows_ = num_rows;
+  if (num_rows >= 2) {
+    out.rows_.resize(num_rows);
+    for (size_t r = 0; r < num_rows; ++r) {
+      out.rows_[r] = static_cast<int32_t>(r);
+    }
+    out.starts_ = {0, static_cast<int32_t>(num_rows)};
+  }
+  return out;
+}
+
+StrippedPartition StrippedPartition::Intersect(
+    const StrippedPartition& other, std::vector<int32_t>* scratch) const {
+  assert(other.num_rows_ == num_rows_);
+  assert(scratch != nullptr && scratch->size() >= num_rows_);
+  std::vector<int32_t>& tag = *scratch;
+
+  StrippedPartition out;
+  out.num_rows_ = num_rows_;
+
+  const size_t left_groups = NumGroups();
+  if (left_groups == 0 || other.NumGroups() == 0) return out;
+
+  if (tl_counts.size() < left_groups) {
+    tl_counts.resize(left_groups, 0);
+    tl_offsets.resize(left_groups, 0);
+  }
+
+  // Phase 1: tag every row stored in the left partition with its group id.
+  for (size_t g = 0; g < left_groups; ++g) {
+    for (const int32_t* r = GroupBegin(g); r != GroupEnd(g); ++r) {
+      tag[static_cast<size_t>(*r)] = static_cast<int32_t>(g);
+    }
+  }
+
+  // Phase 2: each right group splits by tag into product groups. Rows with
+  // tag -1 are singletons on the left, hence singletons in the product.
+  out.rows_.reserve(std::min(rows_.size(), other.rows_.size()));
+  std::vector<int32_t>& touched = tl_touched;
+  for (size_t h = 0; h < other.NumGroups(); ++h) {
+    touched.clear();
+    for (const int32_t* r = other.GroupBegin(h); r != other.GroupEnd(h); ++r) {
+      const int32_t g = tag[static_cast<size_t>(*r)];
+      if (g < 0) continue;
+      if (tl_counts[static_cast<size_t>(g)] == 0) touched.push_back(g);
+      ++tl_counts[static_cast<size_t>(g)];
+    }
+    // Lay out qualifying (size >= 2) product groups contiguously.
+    int32_t cursor = static_cast<int32_t>(out.rows_.size());
+    for (int32_t g : touched) {
+      if (tl_counts[static_cast<size_t>(g)] >= 2) {
+        out.starts_.push_back(cursor);
+        tl_offsets[static_cast<size_t>(g)] = cursor;
+        cursor += tl_counts[static_cast<size_t>(g)];
+      } else {
+        tl_offsets[static_cast<size_t>(g)] = -1;
+      }
+    }
+    out.rows_.resize(static_cast<size_t>(cursor));
+    for (const int32_t* r = other.GroupBegin(h); r != other.GroupEnd(h); ++r) {
+      const int32_t g = tag[static_cast<size_t>(*r)];
+      if (g < 0) continue;
+      int32_t& pos = tl_offsets[static_cast<size_t>(g)];
+      if (pos >= 0) out.rows_[static_cast<size_t>(pos++)] = *r;
+    }
+    for (int32_t g : touched) tl_counts[static_cast<size_t>(g)] = 0;
+  }
+  if (!out.starts_.empty()) {
+    out.starts_.push_back(static_cast<int32_t>(out.rows_.size()));
+  }
+
+  // Phase 3: restore the scratch vector to all -1 for the next caller.
+  for (size_t g = 0; g < left_groups; ++g) {
+    for (const int32_t* r = GroupBegin(g); r != GroupEnd(g); ++r) {
+      tag[static_cast<size_t>(*r)] = -1;
+    }
+  }
+  return out;
+}
+
+double StrippedPartition::Entropy() const {
+  if (num_rows_ == 0) return 0.0;
+  const double n = static_cast<double>(num_rows_);
+  const double log2n = std::log2(n);
+  double h = 0.0;
+  for (size_t g = 0; g < NumGroups(); ++g) {
+    const double c = static_cast<double>(GroupSize(g));
+    // -(c/n) log2(c/n) = (c/n) (log2 n - log2 c)
+    h += (c / n) * (log2n - std::log2(c));
+  }
+  h += static_cast<double>(NumSingletons()) / n * log2n;
+  return h;
+}
+
+}  // namespace maimon

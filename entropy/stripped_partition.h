@@ -1,0 +1,78 @@
+// Copyright (c) Maimon-cpp authors. Licensed under the MIT license.
+//
+// StrippedPartition: the PLI (position-list-index) representation at the
+// heart of the Sec. 6.3 entropy engine. A partition of the row set into
+// equality groups for some attribute set X, with singleton groups stripped
+// (they carry no structure beyond their count, which is recoverable from
+// NumRows - SumGroupSizes). Stored flat: one rows array plus group offsets,
+// so Intersect streams over contiguous memory.
+//
+// Intersect uses the probe-table idiom from the FD/MVD-discovery literature
+// (TANE): tag rows of the left partition with their group id in a caller
+// provided scratch vector, then bucket each right group by tag. Cost is
+// linear in the stored (non-singleton) rows; the scratch vector is reused
+// across calls so the hot loop performs no allocation once warm.
+
+#ifndef MAIMON_ENTROPY_STRIPPED_PARTITION_H_
+#define MAIMON_ENTROPY_STRIPPED_PARTITION_H_
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+namespace maimon {
+
+class StrippedPartition {
+ public:
+  StrippedPartition() = default;
+
+  /// Builds the single-attribute partition from a dictionary-encoded column
+  /// (counting sort over the domain — no hashing).
+  static StrippedPartition FromColumn(const std::vector<uint32_t>& codes,
+                                      uint32_t domain_size);
+
+  /// The identity partition {all rows}: the PLI of the empty attribute set.
+  static StrippedPartition Identity(size_t num_rows);
+
+  /// Product partition `this ∧ other` (group-by on the union of the two
+  /// attribute sets). `scratch` must have size >= NumRows() and contain -1
+  /// everywhere on entry; it is restored to all -1 before returning.
+  StrippedPartition Intersect(const StrippedPartition& other,
+                              std::vector<int32_t>* scratch) const;
+
+  size_t NumRows() const { return num_rows_; }
+  /// Number of stripped (size >= 2) groups.
+  size_t NumGroups() const {
+    return starts_.empty() ? 0 : starts_.size() - 1;
+  }
+  /// Rows covered by stripped groups; singletons are NumRows() - this.
+  size_t SumGroupSizes() const { return rows_.size(); }
+  size_t NumSingletons() const { return num_rows_ - rows_.size(); }
+
+  const int32_t* GroupBegin(size_t g) const { return rows_.data() + starts_[g]; }
+  const int32_t* GroupEnd(size_t g) const {
+    return rows_.data() + starts_[g + 1];
+  }
+  size_t GroupSize(size_t g) const {
+    return static_cast<size_t>(starts_[g + 1] - starts_[g]);
+  }
+
+  /// Shannon entropy (bits) of the group-size distribution this partition
+  /// induces, singletons included.
+  double Entropy() const;
+
+  /// Heap footprint in bytes — what the LRU cache charges for this entry.
+  size_t MemoryBytes() const {
+    return rows_.capacity() * sizeof(int32_t) +
+           starts_.capacity() * sizeof(int32_t) + sizeof(*this);
+  }
+
+ private:
+  std::vector<int32_t> rows_;    // concatenated group members
+  std::vector<int32_t> starts_;  // NumGroups()+1 offsets into rows_
+  size_t num_rows_ = 0;          // rows in the underlying relation
+};
+
+}  // namespace maimon
+
+#endif  // MAIMON_ENTROPY_STRIPPED_PARTITION_H_

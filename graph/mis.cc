@@ -1,0 +1,83 @@
+// Copyright (c) Maimon-cpp authors. Licensed under the MIT license.
+
+#include "graph/mis.h"
+
+namespace maimon {
+namespace {
+
+// Maximal independent sets of G are maximal cliques of the complement.
+// Tomita-style Bron–Kerbosch with pivoting over complement adjacency.
+class MisEnumerator {
+ public:
+  MisEnumerator(const Graph& graph,
+                const std::function<bool(const VertexSet&)>& emit)
+      : n_(graph.NumVertices()), emit_(&emit), current_(n_) {
+    comp_adj_.reserve(static_cast<size_t>(n_));
+    for (int v = 0; v < n_; ++v) {
+      VertexSet row(n_);
+      for (int u = 0; u < n_; ++u) {
+        if (u != v && !graph.HasEdge(u, v)) row.Add(u);
+      }
+      comp_adj_.push_back(std::move(row));
+    }
+  }
+
+  bool Run() {
+    VertexSet p(n_), x(n_);
+    for (int v = 0; v < n_; ++v) p.Add(v);
+    return Expand(p, x);
+  }
+
+ private:
+  // Returns false to propagate an early stop from the callback.
+  bool Expand(VertexSet p, VertexSet x) {
+    if (p.Empty() && x.Empty()) return (*emit_)(current_);
+
+    // Pivot: vertex of P ∪ X with most complement-neighbors in P.
+    int pivot = -1, best = -1;
+    for (const VertexSet* side : {&p, &x}) {
+      side->ForEach([&](int u) {
+        const int score = comp_adj_[static_cast<size_t>(u)].CountIntersect(p);
+        if (score > best) {
+          best = score;
+          pivot = u;
+        }
+      });
+    }
+
+    VertexSet candidates = p;
+    if (pivot >= 0) candidates.MinusWith(comp_adj_[static_cast<size_t>(pivot)]);
+
+    for (int v : candidates.ToVector()) {
+      const VertexSet& nv = comp_adj_[static_cast<size_t>(v)];
+      VertexSet p2 = p, x2 = x;
+      p2.IntersectWith(nv);
+      x2.IntersectWith(nv);
+      current_.Add(v);
+      const bool keep_going = Expand(std::move(p2), std::move(x2));
+      current_.Remove(v);
+      if (!keep_going) return false;
+      p.Remove(v);
+      x.Add(v);
+    }
+    return true;
+  }
+
+  int n_;
+  const std::function<bool(const VertexSet&)>* emit_;
+  VertexSet current_;
+  std::vector<VertexSet> comp_adj_;
+};
+
+}  // namespace
+
+bool EnumerateMaximalIndependentSets(
+    const Graph& graph, const std::function<bool(const VertexSet&)>& emit) {
+  if (graph.NumVertices() == 0) {
+    return emit(VertexSet(0));
+  }
+  MisEnumerator enumerator(graph, emit);
+  return enumerator.Run();
+}
+
+}  // namespace maimon

@@ -1,0 +1,120 @@
+// Copyright (c) Maimon-cpp authors. Licensed under the MIT license.
+
+#include "hypergraph/transversals.h"
+
+#include <algorithm>
+
+namespace maimon {
+namespace {
+
+class MmcsEnumerator {
+ public:
+  MmcsEnumerator(std::vector<AttrSet> edges,
+                 const std::function<bool(AttrSet)>& emit)
+      : edges_(std::move(edges)), emit_(&emit) {}
+
+  bool Run(AttrSet cand) {
+    std::vector<int> uncov(edges_.size());
+    for (size_t i = 0; i < edges_.size(); ++i) uncov[i] = static_cast<int>(i);
+    std::vector<std::vector<int>> crit(AttrSet::kMaxAttrs);
+    return Recurse(cand, std::move(uncov), std::move(crit), AttrSet());
+  }
+
+ private:
+  // State is copied per node: transversal instances in the miner are small
+  // (tens of edges), so clarity wins over an undo stack here.
+  bool Recurse(AttrSet cand, std::vector<int> uncov,
+               std::vector<std::vector<int>> crit, AttrSet s) {
+    if (uncov.empty()) return (*emit_)(s);
+
+    // Branch on the uncovered edge with the fewest candidate vertices.
+    int best_edge = -1, best_count = AttrSet::kMaxAttrs + 1;
+    for (int e : uncov) {
+      const int c = edges_[static_cast<size_t>(e)].Intersect(cand).Count();
+      if (c < best_count) {
+        best_count = c;
+        best_edge = e;
+      }
+    }
+    const AttrSet branch = edges_[static_cast<size_t>(best_edge)].Intersect(cand);
+    if (branch.Empty()) return true;  // this edge can no longer be covered
+    cand = cand.Minus(branch);
+
+    for (int v : branch.ToVector()) {
+      // Child state: edges containing v become v's critical edges; v is
+      // struck from every other member's critical list.
+      std::vector<int> child_uncov;
+      std::vector<int> crit_v;
+      child_uncov.reserve(uncov.size());
+      for (int e : uncov) {
+        if (edges_[static_cast<size_t>(e)].Contains(v)) {
+          crit_v.push_back(e);
+        } else {
+          child_uncov.push_back(e);
+        }
+      }
+      std::vector<std::vector<int>> child_crit = crit;
+      bool minimal = true;
+      for (int u : s.ToVector()) {
+        auto& cu = child_crit[static_cast<size_t>(u)];
+        cu.erase(std::remove_if(cu.begin(), cu.end(),
+                                [&](int e) {
+                                  return edges_[static_cast<size_t>(e)]
+                                      .Contains(v);
+                                }),
+                 cu.end());
+        if (cu.empty()) {
+          // u lost its last critical edge: S + v can never extend to a
+          // minimal transversal containing u.
+          minimal = false;
+          break;
+        }
+      }
+      if (minimal) {
+        child_crit[static_cast<size_t>(v)] = std::move(crit_v);
+        if (!Recurse(cand, std::move(child_uncov), std::move(child_crit),
+                     s.Plus(v))) {
+          return false;
+        }
+      }
+      // v stays excluded from cand for later branches (MMCS dedup rule).
+    }
+    return true;
+  }
+
+  std::vector<AttrSet> edges_;
+  const std::function<bool(AttrSet)>* emit_;
+};
+
+}  // namespace
+
+bool EnumerateMinimalTransversals(const std::vector<AttrSet>& edges,
+                                  AttrSet vertices,
+                                  const std::function<bool(AttrSet)>& emit) {
+  // Pre-minimize: clip edges to the vertex set, drop duplicates and strict
+  // supersets (they are hit whenever their subset is), fail on empty edges.
+  std::vector<AttrSet> minimized;
+  for (AttrSet e : edges) {
+    const AttrSet clipped = e.Intersect(vertices);
+    if (clipped.Empty()) return true;  // uncoverable edge: no transversal
+    bool subsumed = false;
+    for (AttrSet other : edges) {
+      const AttrSet o = other.Intersect(vertices);
+      if (o != clipped && clipped.ContainsAll(o)) {
+        subsumed = true;
+        break;
+      }
+    }
+    if (!subsumed &&
+        std::find(minimized.begin(), minimized.end(), clipped) ==
+            minimized.end()) {
+      minimized.push_back(clipped);
+    }
+  }
+  if (minimized.empty()) return emit(AttrSet());
+
+  MmcsEnumerator enumerator(std::move(minimized), emit);
+  return enumerator.Run(vertices);
+}
+
+}  // namespace maimon

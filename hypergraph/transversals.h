@@ -1,0 +1,30 @@
+// Copyright (c) Maimon-cpp authors. Licensed under the MIT license.
+//
+// Minimal transversal (minimal hitting set) enumeration over hypergraphs
+// with AttrSet edges — Cor. 6.3's T_minTrans factor. Implementation is
+// MMCS (Murakami & Uno 2014): branch on the vertices of an uncovered edge,
+// maintaining per-member critical-edge sets so only minimal transversals
+// are emitted, with no pairwise minimality checks.
+
+#ifndef MAIMON_HYPERGRAPH_TRANSVERSALS_H_
+#define MAIMON_HYPERGRAPH_TRANSVERSALS_H_
+
+#include <functional>
+#include <vector>
+
+#include "util/attr_set.h"
+
+namespace maimon {
+
+/// Calls `emit` once per minimal transversal of `edges` over the vertex set
+/// `vertices`; `emit` returns false to stop the enumeration early. Empty
+/// edges make the instance infeasible (nothing is emitted). The empty
+/// hypergraph has the single minimal transversal {}.
+/// Returns false iff stopped early by the callback.
+bool EnumerateMinimalTransversals(
+    const std::vector<AttrSet>& edges, AttrSet vertices,
+    const std::function<bool(AttrSet)>& emit);
+
+}  // namespace maimon
+
+#endif  // MAIMON_HYPERGRAPH_TRANSVERSALS_H_

@@ -1,0 +1,208 @@
+// Copyright (c) Maimon-cpp authors. Licensed under the MIT license.
+
+#include "join/metrics.h"
+
+#include <cstring>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace maimon {
+namespace {
+
+// Byte-packed tuple key for hashing projected rows.
+std::string PackKey(const std::vector<uint32_t>& tuple,
+                    const std::vector<int>& positions) {
+  std::string key(positions.size() * sizeof(uint32_t), '\0');
+  for (size_t i = 0; i < positions.size(); ++i) {
+    std::memcpy(&key[i * sizeof(uint32_t)],
+                &tuple[static_cast<size_t>(positions[i])], sizeof(uint32_t));
+  }
+  return key;
+}
+
+struct ProjectedRelation {
+  std::vector<int> attrs;                      // original column indices
+  std::vector<std::vector<uint32_t>> tuples;   // distinct projected rows
+};
+
+ProjectedRelation Project(const Relation& relation, AttrSet attrs) {
+  ProjectedRelation out;
+  out.attrs = attrs.ToVector();
+  std::unordered_set<std::string> seen;
+  std::vector<uint32_t> tuple(out.attrs.size());
+  for (size_t r = 0; r < relation.NumRows(); ++r) {
+    for (size_t i = 0; i < out.attrs.size(); ++i) {
+      tuple[i] = relation.Value(r, out.attrs[i]);
+    }
+    std::string key(reinterpret_cast<const char*>(tuple.data()),
+                    tuple.size() * sizeof(uint32_t));
+    if (seen.insert(std::move(key)).second) out.tuples.push_back(tuple);
+  }
+  return out;
+}
+
+// Positions (within `rel.attrs`) of the shared attributes with `other`.
+std::vector<int> SharedPositions(const ProjectedRelation& rel,
+                                 AttrSet shared) {
+  std::vector<int> out;
+  for (size_t i = 0; i < rel.attrs.size(); ++i) {
+    if (shared.Contains(rel.attrs[i])) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+}  // namespace
+
+SchemaReport EvaluateSchema(const Relation& relation, const Schema& schema,
+                            const InfoCalc& oracle) {
+  SchemaReport report;
+  report.num_relations = schema.NumRelations();
+  report.width = schema.Width();
+  const std::vector<AttrSet>& rels = schema.Relations();
+  const size_t m = rels.size();
+  if (m == 0 || relation.NumRows() == 0) return report;
+
+  // Distinct projections (the decomposed storage).
+  std::vector<ProjectedRelation> projections;
+  projections.reserve(m);
+  size_t projected_cells = 0;
+  for (AttrSet r : rels) {
+    projections.push_back(Project(relation, r));
+    projected_cells += projections.back().tuples.size() *
+                       projections.back().attrs.size();
+  }
+  const size_t original_cells = relation.NumRows() *
+                                static_cast<size_t>(relation.NumCols());
+  report.savings_pct =
+      100.0 * (1.0 - static_cast<double>(projected_cells) /
+                         static_cast<double>(original_cells));
+
+  // Join tree: maximum-overlap spanning tree (Prim).
+  std::vector<int> parent(m, -1);
+  std::vector<bool> in_tree(m, false);
+  std::vector<int> best_link(m, 0);
+  std::vector<int> best_weight(m, -1);
+  in_tree[0] = true;
+  for (size_t j = 1; j < m; ++j) {
+    best_link[j] = 0;
+    best_weight[j] = rels[j].Intersect(rels[0]).Count();
+  }
+  for (size_t round = 1; round < m; ++round) {
+    int pick = -1, w = -1;
+    for (size_t j = 0; j < m; ++j) {
+      if (!in_tree[j] && best_weight[j] > w) {
+        w = best_weight[j];
+        pick = static_cast<int>(j);
+      }
+    }
+    in_tree[static_cast<size_t>(pick)] = true;
+    parent[static_cast<size_t>(pick)] = best_link[static_cast<size_t>(pick)];
+    for (size_t j = 0; j < m; ++j) {
+      if (!in_tree[j]) {
+        const int overlap =
+            rels[j].Intersect(rels[static_cast<size_t>(pick)]).Count();
+        if (overlap > best_weight[j]) {
+          best_weight[j] = overlap;
+          best_link[j] = pick;
+        }
+      }
+    }
+  }
+
+  // Children lists + a post-order (tree rooted at relation 0).
+  std::vector<std::vector<int>> children(m);
+  for (size_t j = 1; j < m; ++j) {
+    children[static_cast<size_t>(parent[j])].push_back(static_cast<int>(j));
+  }
+  std::vector<int> order;
+  order.reserve(m);
+  {
+    std::vector<int> stack = {0};
+    while (!stack.empty()) {
+      const int v = stack.back();
+      stack.pop_back();
+      order.push_back(v);
+      for (int c : children[static_cast<size_t>(v)]) stack.push_back(c);
+    }
+  }
+
+  // J(S): each tree edge contributes I(subtree attrs ; rest | separator).
+  const AttrSet universe = schema.UniverseAttrs();
+  std::vector<AttrSet> subtree_attrs(m);
+  for (size_t i = order.size(); i-- > 0;) {
+    const int v = order[i];
+    subtree_attrs[static_cast<size_t>(v)] = rels[static_cast<size_t>(v)];
+    for (int c : children[static_cast<size_t>(v)]) {
+      subtree_attrs[static_cast<size_t>(v)] =
+          subtree_attrs[static_cast<size_t>(v)].Union(
+              subtree_attrs[static_cast<size_t>(c)]);
+    }
+  }
+  for (size_t j = 1; j < m; ++j) {
+    const AttrSet sep =
+        rels[j].Intersect(rels[static_cast<size_t>(parent[j])]);
+    const AttrSet below = subtree_attrs[j].Minus(sep);
+    const AttrSet above = universe.Minus(subtree_attrs[j]);
+    if (below.Any() && above.Any()) {
+      report.j_measure += oracle.CondMutualInfo(below, above, sep);
+    }
+  }
+
+  // Exact acyclic-join row count: bottom-up counting DP. The message from
+  // child c to its parent maps separator values to the number of join
+  // results in c's subtree consistent with those values.
+  std::vector<std::unordered_map<std::string, double>> message(m);
+  for (size_t i = order.size(); i-- > 0;) {
+    const int v = order[i];
+    const ProjectedRelation& pv = projections[static_cast<size_t>(v)];
+    // Per-child separator positions within v's attribute list.
+    std::vector<std::vector<int>> child_pos;
+    for (int c : children[static_cast<size_t>(v)]) {
+      child_pos.push_back(SharedPositions(
+          pv, rels[static_cast<size_t>(v)].Intersect(
+                  rels[static_cast<size_t>(c)])));
+    }
+    std::vector<int> up_pos;
+    if (parent[static_cast<size_t>(v)] >= 0) {
+      up_pos = SharedPositions(
+          pv, rels[static_cast<size_t>(v)].Intersect(
+                  rels[static_cast<size_t>(parent[static_cast<size_t>(v)])]));
+    }
+    double total = 0.0;
+    for (const auto& tuple : pv.tuples) {
+      double weight = 1.0;
+      for (size_t k = 0; k < children[static_cast<size_t>(v)].size(); ++k) {
+        const int c = children[static_cast<size_t>(v)][k];
+        const auto& msg = message[static_cast<size_t>(c)];
+        const auto it = msg.find(PackKey(tuple, child_pos[k]));
+        weight *= it == msg.end() ? 0.0 : it->second;
+        if (weight == 0.0) break;
+      }
+      if (weight == 0.0) continue;
+      if (parent[static_cast<size_t>(v)] >= 0) {
+        message[static_cast<size_t>(v)][PackKey(tuple, up_pos)] += weight;
+      } else {
+        total += weight;
+      }
+    }
+    if (parent[static_cast<size_t>(v)] < 0) report.join_rows = total;
+    for (int c : children[static_cast<size_t>(v)]) {
+      message[static_cast<size_t>(c)].clear();  // release as we go
+    }
+  }
+
+  // Spurious rate vs the distinct original rows (the join has set
+  // semantics; exact decompositions land at E = 0).
+  const double original_distinct =
+      static_cast<double>(Project(relation, universe).tuples.size());
+  if (report.join_rows > 0.0) {
+    const double spurious = report.join_rows - original_distinct;
+    report.spurious_pct =
+        spurious > 0.0 ? 100.0 * spurious / report.join_rows : 0.0;
+  }
+  return report;
+}
+
+}  // namespace maimon

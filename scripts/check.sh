@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Copyright (c) Maimon-cpp authors. Licensed under the MIT license.
+#
+# CI gate: configure with warnings-as-errors, build everything, run the unit
+# tests, and smoke-run the entropy-engine micro bench when google-benchmark
+# is available. Run from anywhere; builds into <repo>/build-check.
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${repo_root}/build-check"
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+cmake -B "${build_dir}" -S "${repo_root}" -DMAIMON_WERROR=ON
+cmake --build "${build_dir}" -j "${jobs}"
+ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}"
+
+if [[ -x "${build_dir}/bench_entropy_engine" ]]; then
+  echo "--- smoke: bench_entropy_engine ---"
+  # Plain-double min_time parses on every google-benchmark version (the
+  # "0.01x1" iteration syntax only exists from 1.8).
+  "${build_dir}/bench_entropy_engine" --benchmark_min_time=0.01
+else
+  echo "--- bench_entropy_engine not built (google-benchmark absent): skipped"
+fi
+
+echo "check.sh: all green"

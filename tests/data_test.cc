@@ -1,0 +1,108 @@
+// Copyright (c) Maimon-cpp authors. Licensed under the MIT license.
+//
+// Data layer checks: Relation transforms, generator determinism, the shape
+// registry, and the structural facts the bench comments promise (Nursery's
+// 12,960 x 9 product with a determined class column).
+
+#include "data/metanome_shapes.h"
+#include "data/nursery.h"
+#include "data/planted.h"
+#include "entropy/pli_engine.h"
+#include "tests/test_util.h"
+
+namespace maimon {
+namespace {
+
+TEST_CASE(PlantedGeneratorIsDeterministicAndShaped) {
+  PlantedSpec spec;
+  spec.num_attrs = 9;
+  spec.num_bags = 3;
+  spec.root_rows = 100;
+  spec.max_rows = 400;
+  spec.domain_size = 12;
+  spec.seed = 77;
+  const PlantedDataset a = GeneratePlanted(spec);
+  const PlantedDataset b = GeneratePlanted(spec);
+
+  CHECK_EQ(a.relation.NumCols(), 9);
+  CHECK(a.relation.NumRows() <= 400);
+  CHECK(a.relation.NumRows() >= 100);
+  CHECK_EQ(a.relation.NumRows(), b.relation.NumRows());
+  for (int c = 0; c < a.relation.NumCols(); ++c) {
+    CHECK_EQ(a.relation.Column(c), b.relation.Column(c));
+  }
+  CHECK_EQ(a.schema.Support().size(), size_t{2});  // one per chain separator
+  CHECK_EQ(a.schema.Bags().size(), size_t{3});
+  // Support MVDs partition the universe.
+  for (const Mvd& phi : a.schema.Support()) {
+    CHECK_EQ(phi.Attrs(), a.relation.Universe());
+    CHECK(!phi.deps()[0].Intersects(phi.deps()[1]));
+  }
+}
+
+TEST_CASE(RelationTransforms) {
+  PlantedSpec spec;
+  spec.num_attrs = 6;
+  spec.root_rows = 64;
+  spec.max_rows = 256;
+  spec.seed = 5;
+  const Relation r = GeneratePlanted(spec).relation;
+
+  const Relation half = r.SampleRows(0.5, 3);
+  CHECK(half.NumRows() > 0);
+  CHECK(half.NumRows() < r.NumRows());
+  CHECK_EQ(half.NumCols(), r.NumCols());
+  // Deterministic in the seed.
+  CHECK_EQ(r.SampleRows(0.5, 3).NumRows(), half.NumRows());
+
+  const Relation narrow = r.ProjectWithDuplicates(AttrSet(0b1011));
+  CHECK_EQ(narrow.NumCols(), 3);
+  CHECK_EQ(narrow.NumRows(), r.NumRows());
+  CHECK_EQ(narrow.Column(0), r.Column(0));
+  CHECK_EQ(narrow.Column(1), r.Column(1));
+  CHECK_EQ(narrow.Column(2), r.Column(3));
+}
+
+TEST_CASE(ShapeRegistryCoversBenchDatasets) {
+  CHECK_EQ(Table2Shapes().size(), size_t{20});
+  for (const char* name :
+       {"Image", "Four Square (Spots)", "Ditag Feature", "Entity Source",
+        "Voter State", "Census", "Abalone", "Adult", "Breast-Cancer",
+        "Bridges", "Echocardiogram", "FD_Reduced_15", "Hepatitis",
+        "Classification", "Nursery"}) {
+    CHECK(FindShape(name).ok());
+  }
+  CHECK(!FindShape("No Such Dataset").ok());
+
+  const auto shape = FindShape("Bridges");
+  const PlantedDataset d = GenerateShaped(*shape, 1.0);
+  CHECK_EQ(d.relation.NumCols(), shape->columns);
+  CHECK_EQ(d.relation.NumRows(), shape->paper_rows);
+
+  // Scaling caps rows, never columns.
+  const PlantedDataset scaled = GenerateShaped(*FindShape("Adult"), 0.01);
+  CHECK_EQ(scaled.relation.NumCols(), 14);
+  CHECK(scaled.relation.NumRows() <= 489);
+}
+
+TEST_CASE(NurseryMatchesThePaperShape) {
+  const Relation nursery = NurseryDataset();
+  CHECK_EQ(nursery.NumRows(), size_t{12960});
+  CHECK_EQ(nursery.NumCols(), 9);
+  CHECK_EQ(nursery.CellCount(), size_t{116640});
+
+  // Full product of the inputs: H(inputs) = sum of single-column H, and the
+  // class column is determined: H(all) == H(inputs).
+  PliEntropyEngine engine(nursery);
+  const AttrSet inputs((uint64_t{1} << 8) - 1);
+  double sum_singles = 0;
+  for (int c = 0; c < 8; ++c) sum_singles += engine.Entropy(AttrSet::Single(c));
+  CHECK_NEAR(engine.Entropy(inputs), sum_singles, 1e-9);
+  CHECK_NEAR(engine.Entropy(nursery.Universe()), engine.Entropy(inputs),
+             1e-9);
+}
+
+}  // namespace
+}  // namespace maimon
+
+TEST_MAIN()

@@ -1,0 +1,88 @@
+// Copyright (c) Maimon-cpp authors. Licensed under the MIT license.
+//
+// The exactness contract of the Sec. 6.3 engine: PLI-based entropies agree
+// with the naive full-scan oracle to 1e-9 on 50 random planted relations,
+// across every attribute subset (up to 2^10 per relation). Exercised at
+// several block sizes L so the staging path is covered, not just the memo.
+
+#include <cstdint>
+
+#include "data/planted.h"
+#include "entropy/naive_engine.h"
+#include "entropy/pli_engine.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+
+namespace maimon {
+namespace {
+
+TEST_CASE(PliAgreesWithNaiveOnAllSubsets) {
+  Rng rng(42);
+  for (int trial = 0; trial < 50; ++trial) {
+    PlantedSpec spec;
+    spec.num_attrs = 3 + static_cast<int>(rng.Uniform(8));  // 3..10 columns
+    spec.num_bags = 1 + static_cast<int>(rng.Uniform(3));
+    spec.root_rows = 16 + rng.Uniform(200);
+    spec.max_rows = spec.root_rows * (1 + rng.Uniform(4));
+    spec.noise_fraction = rng.NextDouble() * 0.2;
+    spec.domain_size = 2 + static_cast<uint32_t>(rng.Uniform(12));
+    spec.seed = rng.Next64();
+    const Relation r = GeneratePlanted(spec).relation;
+
+    NaiveEntropyEngine naive(r);
+    PliEngineOptions opt;
+    opt.block_size = 1 + static_cast<int>(rng.Uniform(10));
+    PliEntropyEngine pli(r, opt);
+
+    const uint64_t subsets = uint64_t{1} << r.NumCols();
+    std::vector<double> expected(subsets);
+    for (uint64_t mask = 0; mask < subsets; ++mask) {
+      const AttrSet q(mask);
+      expected[mask] = naive.Entropy(q);
+      CHECK_NEAR(pli.Entropy(q), expected[mask], 1e-9);
+    }
+    // Second sweep hits the value memo and must stay identical.
+    for (uint64_t mask = 0; mask < subsets; ++mask) {
+      CHECK_NEAR(pli.Entropy(AttrSet(mask)), expected[mask], 1e-9);
+    }
+  }
+}
+
+TEST_CASE(EntropyBasicProperties) {
+  PlantedSpec spec;
+  spec.num_attrs = 6;
+  spec.num_bags = 2;
+  spec.root_rows = 128;
+  spec.max_rows = 512;
+  spec.noise_fraction = 0.1;
+  spec.domain_size = 8;
+  spec.seed = 7;
+  const Relation r = GeneratePlanted(spec).relation;
+  PliEntropyEngine pli(r);
+
+  CHECK_NEAR(pli.Entropy(AttrSet()), 0.0, 1e-12);
+  // Monotone: H(X) <= H(X ∪ Y), chained up the full attribute set.
+  double prev = 0.0;
+  AttrSet acc;
+  for (int c = 0; c < r.NumCols(); ++c) {
+    acc.Add(c);
+    const double h = pli.Entropy(acc);
+    CHECK(h >= prev - 1e-12);
+    prev = h;
+  }
+  // Bounded by log2(rows).
+  CHECK(prev <= std::log2(static_cast<double>(r.NumRows())) + 1e-9);
+
+  // Engine counters move: multi-attribute first computations are partition
+  // cache misses, repeats are value-memo hits.
+  const auto cold = pli.stats();
+  CHECK(cold.cache.misses > 0);
+  CHECK(cold.intersections > 0);
+  pli.Entropy(acc);
+  CHECK_EQ(pli.stats().value_hits, cold.value_hits + 1);
+}
+
+}  // namespace
+}  // namespace maimon
+
+TEST_MAIN()

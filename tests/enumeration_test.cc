@@ -1,0 +1,179 @@
+// Copyright (c) Maimon-cpp authors. Licensed under the MIT license.
+//
+// Cross-checks for the two enumeration substrates against brute force on
+// small random instances: every emitted set is valid and maximal/minimal,
+// and the enumeration is complete and duplicate-free.
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "graph/mis.h"
+#include "hypergraph/transversals.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+
+namespace maimon {
+namespace {
+
+// --- maximal independent sets ---------------------------------------------
+
+bool IsIndependent(const Graph& g, uint64_t mask) {
+  for (int u = 0; u < g.NumVertices(); ++u) {
+    if (!((mask >> u) & 1)) continue;
+    for (int v = u + 1; v < g.NumVertices(); ++v) {
+      if (((mask >> v) & 1) && g.HasEdge(u, v)) return false;
+    }
+  }
+  return true;
+}
+
+std::set<uint64_t> BruteMis(const Graph& g) {
+  const int n = g.NumVertices();
+  std::vector<uint64_t> independent;
+  for (uint64_t mask = 0; mask < (uint64_t{1} << n); ++mask) {
+    if (IsIndependent(g, mask)) independent.push_back(mask);
+  }
+  std::set<uint64_t> maximal;
+  for (uint64_t mask : independent) {
+    bool is_maximal = true;
+    for (uint64_t other : independent) {
+      if (other != mask && (other & mask) == mask) {
+        is_maximal = false;
+        break;
+      }
+    }
+    if (is_maximal) maximal.insert(mask);
+  }
+  return maximal;
+}
+
+TEST_CASE(MisMatchesBruteForce) {
+  Rng rng(11);
+  for (int trial = 0; trial < 15; ++trial) {
+    const int n = 2 + static_cast<int>(rng.Uniform(11));  // 2..12 vertices
+    const double density = rng.NextDouble();
+    Graph g(n);
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        if (rng.Bernoulli(density)) g.AddEdge(i, j);
+      }
+    }
+    std::set<uint64_t> emitted;
+    bool duplicates = false;
+    EnumerateMaximalIndependentSets(g, [&](const VertexSet& s) {
+      uint64_t mask = 0;
+      s.ForEach([&](int v) { mask |= uint64_t{1} << v; });
+      duplicates |= !emitted.insert(mask).second;
+      return true;
+    });
+    CHECK(!duplicates);
+    CHECK_EQ(emitted, BruteMis(g));
+  }
+}
+
+TEST_CASE(MisEarlyStopIsHonored) {
+  Graph g(10);  // empty graph: single MIS = all vertices
+  int count = 0;
+  const bool finished =
+      EnumerateMaximalIndependentSets(g, [&](const VertexSet&) {
+        ++count;
+        return false;
+      });
+  CHECK(!finished);
+  CHECK_EQ(count, 1);
+
+  Graph clique(6);
+  for (int i = 0; i < 6; ++i) {
+    for (int j = i + 1; j < 6; ++j) clique.AddEdge(i, j);
+  }
+  count = 0;
+  EnumerateMaximalIndependentSets(clique, [&](const VertexSet& s) {
+    CHECK_EQ(s.Count(), 1);  // every MIS of a clique is one vertex
+    ++count;
+    return count < 3;
+  });
+  CHECK_EQ(count, 3);
+}
+
+// --- minimal transversals ---------------------------------------------------
+
+std::set<uint64_t> BruteMinTransversals(const std::vector<AttrSet>& edges,
+                                        int n) {
+  std::vector<uint64_t> hitting;
+  for (uint64_t mask = 0; mask < (uint64_t{1} << n); ++mask) {
+    bool hits_all = true;
+    for (AttrSet e : edges) {
+      if ((mask & e.bits()) == 0) {
+        hits_all = false;
+        break;
+      }
+    }
+    if (hits_all) hitting.push_back(mask);
+  }
+  std::set<uint64_t> minimal;
+  for (uint64_t mask : hitting) {
+    bool is_minimal = true;
+    for (uint64_t other : hitting) {
+      if (other != mask && (other & mask) == other) {
+        is_minimal = false;
+        break;
+      }
+    }
+    if (is_minimal) minimal.insert(mask);
+  }
+  return minimal;
+}
+
+TEST_CASE(TransversalsMatchBruteForce) {
+  Rng rng(13);
+  for (int trial = 0; trial < 15; ++trial) {
+    const int n = 3 + static_cast<int>(rng.Uniform(9));  // 3..11 vertices
+    const int m = 1 + static_cast<int>(rng.Uniform(7));
+    std::vector<AttrSet> edges;
+    for (int i = 0; i < m; ++i) {
+      AttrSet e;
+      // Edge size capped by n: drawing k distinct vertices from fewer than
+      // k would never terminate.
+      const int size =
+          1 + static_cast<int>(rng.Uniform(static_cast<uint64_t>(
+                  std::min(4, n))));
+      while (e.Count() < size) e.Add(static_cast<int>(rng.Uniform(n)));
+      edges.push_back(e);
+    }
+    std::set<uint64_t> emitted;
+    bool duplicates = false;
+    EnumerateMinimalTransversals(edges, AttrSet::Universe(n),
+                                 [&](AttrSet t) {
+                                   duplicates |= !emitted.insert(t.bits()).second;
+                                   return true;
+                                 });
+    CHECK(!duplicates);
+    CHECK_EQ(emitted, BruteMinTransversals(edges, n));
+  }
+}
+
+TEST_CASE(TransversalEdgeCases) {
+  // Empty hypergraph: the empty set is the unique minimal transversal.
+  int count = 0;
+  EnumerateMinimalTransversals({}, AttrSet::Universe(5), [&](AttrSet t) {
+    CHECK(t.Empty());
+    ++count;
+    return true;
+  });
+  CHECK_EQ(count, 1);
+
+  // An edge outside the vertex set is uncoverable: nothing is emitted.
+  count = 0;
+  EnumerateMinimalTransversals({AttrSet(0b100000)}, AttrSet::Universe(5),
+                               [&](AttrSet) {
+                                 ++count;
+                                 return true;
+                               });
+  CHECK_EQ(count, 0);
+}
+
+}  // namespace
+}  // namespace maimon
+
+TEST_MAIN()

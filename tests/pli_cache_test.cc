@@ -1,0 +1,105 @@
+// Copyright (c) Maimon-cpp authors. Licensed under the MIT license.
+//
+// PliCache contract: LRU eviction respects the byte capacity, hit/miss
+// counters are exact, and resident pointers stay valid across inserts.
+
+#include "entropy/pli_cache.h"
+
+#include <vector>
+
+#include "tests/test_util.h"
+
+namespace maimon {
+namespace {
+
+// A partition over `rows` rows, one all-rows group: its MemoryBytes() grows
+// with `rows`, which lets the tests dial entry sizes.
+StrippedPartition MakePartition(size_t rows) {
+  return StrippedPartition::Identity(rows);
+}
+
+TEST_CASE(HitAndMissCountersAreExact) {
+  PliCache cache(size_t{1} << 20);
+  const AttrSet a(0b01), b(0b10);
+
+  CHECK(cache.Get(a) == nullptr);
+  CHECK(cache.Get(b) == nullptr);
+  CHECK_EQ(cache.stats().misses, 2u);
+  CHECK_EQ(cache.stats().hits, 0u);
+
+  cache.Put(a, MakePartition(64));
+  for (int i = 0; i < 5; ++i) CHECK(cache.Get(a) != nullptr);
+  CHECK(cache.Get(b) == nullptr);
+  CHECK_EQ(cache.stats().hits, 5u);
+  CHECK_EQ(cache.stats().misses, 3u);
+  CHECK_EQ(cache.stats().insertions, 1u);
+  CHECK_EQ(cache.stats().evictions, 0u);
+}
+
+TEST_CASE(EvictionRespectsCapacityAndLruOrder) {
+  const size_t entry_bytes = MakePartition(256).MemoryBytes();
+  // Room for three entries, not four.
+  PliCache cache(3 * entry_bytes + entry_bytes / 2);
+
+  const AttrSet keys[4] = {AttrSet(1), AttrSet(2), AttrSet(4), AttrSet(8)};
+  for (int i = 0; i < 3; ++i) cache.Put(keys[i], MakePartition(256));
+  CHECK_EQ(cache.size(), 3u);
+  CHECK(cache.stats().bytes <= cache.capacity_bytes());
+
+  // Touch key 0 so key 1 becomes LRU, then insert key 3.
+  CHECK(cache.Get(keys[0]) != nullptr);
+  cache.Put(keys[3], MakePartition(256));
+  CHECK_EQ(cache.size(), 3u);
+  CHECK_EQ(cache.stats().evictions, 1u);
+  CHECK(!cache.Contains(keys[1]));  // the LRU victim
+  CHECK(cache.Contains(keys[0]));
+  CHECK(cache.Contains(keys[2]));
+  CHECK(cache.Contains(keys[3]));
+  CHECK(cache.stats().bytes <= cache.capacity_bytes());
+}
+
+TEST_CASE(OversizedEntryIsRejected) {
+  const size_t small = MakePartition(16).MemoryBytes();
+  PliCache cache(small);
+  CHECK(cache.Put(AttrSet(1), MakePartition(4096)) == nullptr);
+  CHECK_EQ(cache.size(), 0u);
+  CHECK_EQ(cache.stats().bytes, 0u);
+  // A fitting entry still goes in.
+  CHECK(cache.Put(AttrSet(2), MakePartition(16)) != nullptr);
+  CHECK_EQ(cache.size(), 1u);
+}
+
+TEST_CASE(PutNeverEvictsTheInsertedEntryAndPointersAreStable) {
+  const size_t entry_bytes = MakePartition(128).MemoryBytes();
+  PliCache cache(2 * entry_bytes + entry_bytes / 2);
+
+  const StrippedPartition* first = cache.Put(AttrSet(1), MakePartition(128));
+  CHECK(first != nullptr);
+  const StrippedPartition* second = cache.Put(AttrSet(2), MakePartition(128));
+  CHECK(second != nullptr);
+  // Third insert evicts the LRU (key 1), not itself; `second` (promoted by
+  // nothing, but still resident) must remain a valid pointer.
+  const StrippedPartition* third = cache.Put(AttrSet(4), MakePartition(128));
+  CHECK(third != nullptr);
+  CHECK(!cache.Contains(AttrSet(1)));
+  CHECK(cache.Contains(AttrSet(2)));
+  CHECK_EQ(second->NumRows(), size_t{128});
+  CHECK_EQ(third->NumRows(), size_t{128});
+}
+
+TEST_CASE(RefreshingAKeyUpdatesBytesWithoutDoubleCounting) {
+  PliCache cache(size_t{1} << 20);
+  cache.Put(AttrSet(1), MakePartition(64));
+  const size_t bytes_small = cache.stats().bytes;
+  cache.Put(AttrSet(1), MakePartition(512));
+  CHECK_EQ(cache.size(), 1u);
+  CHECK(cache.stats().bytes > bytes_small);
+  cache.Put(AttrSet(1), MakePartition(64));
+  CHECK_EQ(cache.size(), 1u);
+  CHECK_EQ(cache.stats().insertions, 1u);
+}
+
+}  // namespace
+}  // namespace maimon
+
+TEST_MAIN()

@@ -1,0 +1,138 @@
+// Copyright (c) Maimon-cpp authors. Licensed under the MIT license.
+//
+// StrippedPartition invariants: group refinement, singleton stripping, and
+// row-count conservation, cross-checked against a brute-force group-by.
+
+#include "entropy/stripped_partition.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "tests/test_util.h"
+#include "util/rng.h"
+
+namespace maimon {
+namespace {
+
+std::vector<uint32_t> RandomColumn(size_t rows, uint32_t domain, Rng* rng) {
+  std::vector<uint32_t> col(rows);
+  for (auto& v : col) v = static_cast<uint32_t>(rng->Uniform(domain));
+  return col;
+}
+
+// Brute-force stripped group sizes of a multi-column group-by, sorted.
+std::vector<size_t> BruteGroupSizes(
+    const std::vector<const std::vector<uint32_t>*>& cols, size_t rows) {
+  std::map<std::vector<uint32_t>, size_t> groups;
+  for (size_t r = 0; r < rows; ++r) {
+    std::vector<uint32_t> key;
+    key.reserve(cols.size());
+    for (const auto* c : cols) key.push_back((*c)[r]);
+    ++groups[key];
+  }
+  std::vector<size_t> sizes;
+  for (const auto& [key, count] : groups) {
+    if (count >= 2) sizes.push_back(count);
+  }
+  std::sort(sizes.begin(), sizes.end());
+  return sizes;
+}
+
+std::vector<size_t> PartitionGroupSizes(const StrippedPartition& p) {
+  std::vector<size_t> sizes;
+  for (size_t g = 0; g < p.NumGroups(); ++g) sizes.push_back(p.GroupSize(g));
+  std::sort(sizes.begin(), sizes.end());
+  return sizes;
+}
+
+TEST_CASE(FromColumnMatchesBruteForce) {
+  Rng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t rows = 1 + rng.Uniform(500);
+    const uint32_t domain = 1 + static_cast<uint32_t>(rng.Uniform(40));
+    const auto col = RandomColumn(rows, domain, &rng);
+    const StrippedPartition p = StrippedPartition::FromColumn(col, domain);
+
+    CHECK_EQ(p.NumRows(), rows);
+    CHECK_EQ(PartitionGroupSizes(p), BruteGroupSizes({&col}, rows));
+    // Row-count conservation: stripped rows + singletons == all rows.
+    CHECK_EQ(p.SumGroupSizes() + p.NumSingletons(), rows);
+    // Singleton stripping: no group of size < 2 survives.
+    for (size_t g = 0; g < p.NumGroups(); ++g) CHECK(p.GroupSize(g) >= 2);
+  }
+}
+
+TEST_CASE(IntersectMatchesBruteForceAndRefines) {
+  Rng rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t rows = 2 + rng.Uniform(600);
+    const uint32_t d1 = 1 + static_cast<uint32_t>(rng.Uniform(24));
+    const uint32_t d2 = 1 + static_cast<uint32_t>(rng.Uniform(24));
+    const auto c1 = RandomColumn(rows, d1, &rng);
+    const auto c2 = RandomColumn(rows, d2, &rng);
+    const StrippedPartition p1 = StrippedPartition::FromColumn(c1, d1);
+    const StrippedPartition p2 = StrippedPartition::FromColumn(c2, d2);
+
+    std::vector<int32_t> scratch(rows, -1);
+    const StrippedPartition p = p1.Intersect(p2, &scratch);
+
+    // Scratch restored for the next caller.
+    for (int32_t v : scratch) CHECK_EQ(v, -1);
+
+    CHECK_EQ(p.NumRows(), rows);
+    CHECK_EQ(PartitionGroupSizes(p), BruteGroupSizes({&c1, &c2}, rows));
+    CHECK_EQ(p.SumGroupSizes() + p.NumSingletons(), rows);
+
+    // Refinement: every product group lies inside one group of each parent
+    // (its rows agree on both columns).
+    for (size_t g = 0; g < p.NumGroups(); ++g) {
+      const int32_t first = *p.GroupBegin(g);
+      for (const int32_t* r = p.GroupBegin(g); r != p.GroupEnd(g); ++r) {
+        CHECK_EQ(c1[static_cast<size_t>(*r)], c1[static_cast<size_t>(first)]);
+        CHECK_EQ(c2[static_cast<size_t>(*r)], c2[static_cast<size_t>(first)]);
+      }
+    }
+  }
+}
+
+TEST_CASE(IntersectAssociativeOnChains) {
+  Rng rng(3);
+  const size_t rows = 400;
+  const uint32_t domain = 6;
+  const auto c1 = RandomColumn(rows, domain, &rng);
+  const auto c2 = RandomColumn(rows, domain, &rng);
+  const auto c3 = RandomColumn(rows, domain, &rng);
+  const auto p1 = StrippedPartition::FromColumn(c1, domain);
+  const auto p2 = StrippedPartition::FromColumn(c2, domain);
+  const auto p3 = StrippedPartition::FromColumn(c3, domain);
+
+  std::vector<int32_t> scratch(rows, -1);
+  const auto left = p1.Intersect(p2, &scratch).Intersect(p3, &scratch);
+  const auto right = p1.Intersect(p3, &scratch).Intersect(p2, &scratch);
+  CHECK_EQ(PartitionGroupSizes(left), PartitionGroupSizes(right));
+  CHECK_EQ(PartitionGroupSizes(left), BruteGroupSizes({&c1, &c2, &c3}, rows));
+  CHECK_NEAR(left.Entropy(), right.Entropy(), 1e-12);
+}
+
+TEST_CASE(IdentityIsNeutralElement) {
+  Rng rng(4);
+  const size_t rows = 257;
+  const uint32_t domain = 9;
+  const auto c1 = RandomColumn(rows, domain, &rng);
+  const auto p1 = StrippedPartition::FromColumn(c1, domain);
+  const auto id = StrippedPartition::Identity(rows);
+
+  std::vector<int32_t> scratch(rows, -1);
+  CHECK_EQ(PartitionGroupSizes(id.Intersect(p1, &scratch)),
+           PartitionGroupSizes(p1));
+  CHECK_EQ(PartitionGroupSizes(p1.Intersect(id, &scratch)),
+           PartitionGroupSizes(p1));
+  CHECK_NEAR(id.Entropy(), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace maimon
+
+TEST_MAIN()

@@ -1,0 +1,92 @@
+// Copyright (c) Maimon-cpp authors. Licensed under the MIT license.
+//
+// Minimal test harness: CHECK-style macros plus a main() that runs every
+// TEST_CASE and exits non-zero on failure. Deliberately dependency-free so
+// ctest works on any container with just a compiler.
+
+#ifndef MAIMON_TESTS_TEST_UTIL_H_
+#define MAIMON_TESTS_TEST_UTIL_H_
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace maimon {
+namespace testing {
+
+struct Registry {
+  static Registry& Instance() {
+    static Registry r;
+    return r;
+  }
+  std::vector<std::pair<std::string, std::function<void()>>> cases;
+  int failures = 0;
+};
+
+struct Registrar {
+  Registrar(const char* name, std::function<void()> fn) {
+    Registry::Instance().cases.emplace_back(name, std::move(fn));
+  }
+};
+
+inline int RunAll() {
+  Registry& r = Registry::Instance();
+  for (auto& [name, fn] : r.cases) {
+    std::printf("[ RUN  ] %s\n", name.c_str());
+    std::fflush(stdout);  // keep progress visible if a case hangs
+    const int before = r.failures;
+    fn();
+    std::printf("[ %s ] %s\n", r.failures == before ? " OK " : "FAIL",
+                name.c_str());
+  }
+  if (r.failures > 0) {
+    std::printf("%d check(s) FAILED\n", r.failures);
+    return 1;
+  }
+  std::printf("all %zu test case(s) passed\n", r.cases.size());
+  return 0;
+}
+
+}  // namespace testing
+}  // namespace maimon
+
+#define TEST_CASE(name)                                                      \
+  static void name();                                                        \
+  static ::maimon::testing::Registrar registrar_##name(#name, name);         \
+  static void name()
+
+#define CHECK(cond)                                                          \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::printf("  CHECK failed at %s:%d: %s\n", __FILE__, __LINE__,       \
+                  #cond);                                                    \
+      ++::maimon::testing::Registry::Instance().failures;                    \
+    }                                                                        \
+  } while (0)
+
+#define CHECK_EQ(a, b)                                                       \
+  do {                                                                       \
+    if (!((a) == (b))) {                                                     \
+      std::printf("  CHECK_EQ failed at %s:%d: %s vs %s\n", __FILE__,        \
+                  __LINE__, #a, #b);                                         \
+      ++::maimon::testing::Registry::Instance().failures;                    \
+    }                                                                        \
+  } while (0)
+
+#define CHECK_NEAR(a, b, tol)                                                \
+  do {                                                                       \
+    const double va = (a), vb = (b);                                         \
+    if (!(std::fabs(va - vb) <= (tol))) {                                    \
+      std::printf("  CHECK_NEAR failed at %s:%d: %s=%.12g vs %s=%.12g\n",    \
+                  __FILE__, __LINE__, #a, va, #b, vb);                       \
+      ++::maimon::testing::Registry::Instance().failures;                    \
+    }                                                                        \
+  } while (0)
+
+#define TEST_MAIN()                                                          \
+  int main() { return ::maimon::testing::RunAll(); }
+
+#endif  // MAIMON_TESTS_TEST_UTIL_H_

@@ -1,0 +1,50 @@
+// Copyright (c) Maimon-cpp authors. Licensed under the MIT license.
+//
+// Minimal status type for budget-bounded mining calls. The only non-OK
+// condition the system currently produces is a blown time budget (the
+// paper's "red clock" marks), but the enum leaves room for more.
+
+#ifndef MAIMON_UTIL_STATUS_H_
+#define MAIMON_UTIL_STATUS_H_
+
+#include <string>
+
+namespace maimon {
+
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kDeadlineExceeded = 1,
+    kResourceExhausted = 2,
+    kInvalidArgument = 3,
+  };
+
+  Status() : code_(Code::kOk) {}
+  Status(Code code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status DeadlineExceeded(std::string message = "deadline exceeded") {
+    return Status(Code::kDeadlineExceeded, std::move(message));
+  }
+  static Status ResourceExhausted(std::string message) {
+    return Status(Code::kResourceExhausted, std::move(message));
+  }
+  static Status InvalidArgument(std::string message) {
+    return Status(Code::kInvalidArgument, std::move(message));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsDeadlineExceeded() const { return code_ == Code::kDeadlineExceeded; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+ private:
+  Code code_;
+  std::string message_;
+};
+
+}  // namespace maimon
+
+#endif  // MAIMON_UTIL_STATUS_H_

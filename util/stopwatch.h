@@ -1,0 +1,70 @@
+// Copyright (c) Maimon-cpp authors. Licensed under the MIT license.
+//
+// Wall-clock timing (Stopwatch) and cooperative budgets (Deadline). Every
+// potentially-exponential search in the miner takes a Deadline* and polls it;
+// nullptr means "no budget". Deadlines are value types so a caller can carve
+// per-pair slices out of a global budget.
+
+#ifndef MAIMON_UTIL_STOPWATCH_H_
+#define MAIMON_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace maimon {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+class Deadline {
+ public:
+  /// An infinite deadline (never expires).
+  Deadline() : infinite_(true) {}
+
+  static Deadline After(double seconds) {
+    Deadline d;
+    d.infinite_ = false;
+    d.end_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                std::chrono::duration<double>(seconds));
+    return d;
+  }
+  static Deadline Infinite() { return Deadline(); }
+
+  bool Expired() const {
+    return !infinite_ && Clock::now() >= end_;
+  }
+
+  /// Seconds left; a large constant when infinite, 0 when expired.
+  double RemainingSeconds() const {
+    if (infinite_) return 1e18;
+    const double left =
+        std::chrono::duration<double>(end_ - Clock::now()).count();
+    return left > 0 ? left : 0.0;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  bool infinite_ = true;
+  Clock::time_point end_{};
+};
+
+/// Poll helper: nullptr deadlines never expire.
+inline bool DeadlineExpired(const Deadline* deadline) {
+  return deadline != nullptr && deadline->Expired();
+}
+
+}  // namespace maimon
+
+#endif  // MAIMON_UTIL_STOPWATCH_H_
