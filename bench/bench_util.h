@@ -27,6 +27,24 @@ inline void Rule(int width = 78) {
   std::putchar('\n');
 }
 
+/// Row marker for a schema-mining run, shared by the figure harnesses so
+/// the legend stays consistent: " TL" = a phase blew its budget (paper's
+/// red clock), " cap" = the max_schemas ceiling cut enumeration short,
+/// " -Nmvd" = N mined MVDs were not admitted to the conflict graph
+/// (max_conflict_mvds), so the row under-covers the scheme space. Markers
+/// are additive — several can fire on one row. `extra_deadline` lets the
+/// caller fold in a downstream phase's expiry (e.g. the ranker's).
+inline std::string SchemeRunMarker(const AsMinerResult& result,
+                                   bool extra_deadline = false) {
+  std::string marker;
+  if (result.status.IsDeadlineExceeded() || extra_deadline) marker += " TL";
+  if (result.truncated) marker += " cap";
+  if (result.mvds_dropped > 0) {
+    marker += " -" + std::to_string(result.mvds_dropped) + "mvd";
+  }
+  return marker;
+}
+
 /// Prints a section header for one experiment.
 inline void Header(const std::string& experiment, const std::string& note) {
   Rule();

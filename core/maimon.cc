@@ -5,6 +5,10 @@
 #include <string>
 #include <unordered_set>
 #include <utility>
+#include <vector>
+
+#include "scheme/assembler.h"
+#include "scheme/conflict_graph.h"
 
 namespace maimon {
 
@@ -14,7 +18,7 @@ Maimon::Maimon(const Relation& relation, MaimonConfig config)
       engine_(std::make_unique<PliEntropyEngine>(relation, config.pli)),
       calc_(std::make_unique<InfoCalc>(engine_.get())) {}
 
-MvdMinerResult Maimon::MineMvds() {
+const MvdMinerResult& Maimon::MineMvds() {
   if (mvds_mined_) return mvd_result_;
   mvds_mined_ = true;
 
@@ -70,14 +74,106 @@ MvdMinerResult Maimon::MineMvds() {
 }
 
 AsMinerResult Maimon::MineSchemas() {
-  const MvdMinerResult mined = MineMvds();
-
-  AsMinerResult result;
-  result.status = mined.status;
+  const MvdMinerResult& mined = MineMvds();
   const Deadline deadline =
       config_.schema_budget_seconds > 0
           ? Deadline::After(config_.schema_budget_seconds)
           : Deadline::Infinite();
+  if (config_.schemas.use_legacy_walk) {
+    return MineSchemasLegacy(mined, deadline);
+  }
+
+  AsMinerResult result;
+  result.status = mined.status;
+  const AttrSet universe = relation_->Universe();
+  // Each phase carves its own Deadline (MVD mining never eats into the
+  // schema budget), so this only fires for near-zero budgets — but then it
+  // skips the quadratic graph build entirely.
+  if (deadline.Expired()) {
+    result.status = Status::DeadlineExceeded("schema enumeration budget");
+    return result;
+  }
+
+  // Conflict graph: one vertex per mined full MVD, one edge per
+  // incompatible pair — independent sets are exactly the pairwise-
+  // compatible sets that assemble into join trees (Sec. 7).
+  std::vector<Mvd> admitted;
+  const std::vector<Mvd>* vertices = &mined.mvds;
+  const size_t cap = config_.schemas.max_conflict_mvds;
+  if (cap > 0 && mined.mvds.size() > cap) {
+    admitted.assign(mined.mvds.begin(),
+                    mined.mvds.begin() + static_cast<long>(cap));
+    vertices = &admitted;
+    result.mvds_dropped = mined.mvds.size() - cap;
+  }
+  const Graph graph = BuildConflictGraph(*vertices, &result.conflict_edges);
+  result.conflict_vertices = vertices->size();
+
+  // No MVDs, no schemes: skip enumeration outright (the 0-vertex graph
+  // would still emit one empty MIS and report a contradictory #MIS = 1).
+  if (vertices->empty()) return result;
+
+  SchemeAssembler assembler(calc_.get(), universe);
+  std::unordered_set<std::string> seen;
+  std::vector<const Mvd*> members;
+  bool deadline_hit = false;
+  const bool completed =
+      EnumerateMaximalIndependentSets(graph, [&](const VertexSet& mis) {
+    if (deadline.Expired()) {
+      deadline_hit = true;
+      return false;
+    }
+    ++result.independent_sets;
+    members.clear();
+    mis.ForEach(
+        [&](int v) { members.push_back(&(*vertices)[static_cast<size_t>(v)]); });
+    const bool keep = assembler.Assemble(
+        members, config_.schemas.emit_intermediate_schemes, &deadline,
+        [&](AssembledScheme&& scheme) {
+          if (deadline.Expired()) {  // poll even on the duplicate path
+            deadline_hit = true;
+            return false;
+          }
+          // Canonical-form dedup: no two emitted schemes share a relation
+          // set (different independent sets often imply the same schema).
+          if (scheme.schema.NumRelations() < 2) return true;
+          if (!seen.insert(scheme.schema.ToString()).second) return true;
+          // Cap check before the push: `truncated` means a distinct scheme
+          // was actually left behind, not that the count landed exactly on
+          // max_schemas (matching the legacy walk's check-before-expand).
+          if (result.schemas.size() >= config_.schemas.max_schemas) {
+            result.truncated = true;
+            return false;
+          }
+          result.schemas.push_back(
+              {std::move(scheme.schema), scheme.j_measure});
+          if (deadline.Expired()) {
+            deadline_hit = true;
+            return false;
+          }
+          return true;
+        });
+    // Assemble also stops on the deadline it polls between splits.
+    if (!keep && !result.truncated && deadline.Expired()) deadline_hit = true;
+    return keep;
+  }, &deadline);
+  // The enumerator polls the deadline inside its recursion too (gaps
+  // between maximal sets can be exponential); catch that stop path. A
+  // completed enumeration is never mislabeled, even if the clock ran out
+  // on the final set.
+  if (!completed && !result.truncated && deadline.Expired()) {
+    deadline_hit = true;
+  }
+  if (deadline_hit) {
+    result.status = Status::DeadlineExceeded("schema enumeration budget");
+  }
+  return result;
+}
+
+AsMinerResult Maimon::MineSchemasLegacy(const MvdMinerResult& mined,
+                                        const Deadline& deadline) {
+  AsMinerResult result;
+  result.status = mined.status;
   const AttrSet universe = relation_->Universe();
 
   struct Node {
@@ -95,7 +191,13 @@ AsMinerResult Maimon::MineSchemas() {
       result.status = Status::DeadlineExceeded("schema enumeration budget");
       break;
     }
-    if (result.schemas.size() >= config_.schemas.max_schemas) break;
+    // Stack nodes are deduped at push time, and every popped node with
+    // >= 2 relations is emitted — so a non-empty stack here means distinct
+    // schemas genuinely left behind (same semantics as the new pipeline).
+    if (result.schemas.size() >= config_.schemas.max_schemas) {
+      result.truncated = true;
+      break;
+    }
     Node node = std::move(stack.back());
     stack.pop_back();
 

@@ -5,11 +5,15 @@
 //
 //   MineMvds()    — MVDMiner: per attribute pair, enumerate minimal
 //                   separators, then expand each into full MVDs (Sec. 5/6).
-//   MineSchemas() — ASMiner-lite: recursively apply mined MVDs as splits to
-//                   enumerate acyclic schema candidates (Sec. 7). The
-//                   current lattice walk is intentionally shallow — it must
-//                   run end-to-end under a budget; fidelity to Fig. 10 is a
-//                   later PR.
+//   MineSchemas() — ASMiner (Sec. 7): build the conflict graph over the
+//                   mined full MVDs (scheme/conflict_graph.h), stream its
+//                   maximal independent sets (graph/mis.h), and assemble
+//                   each pairwise-compatible set into a join tree
+//                   (scheme/assembler.h). Emitted schemes are deduped by
+//                   canonical form; deadline expiry returns the partial
+//                   result with kDeadlineExceeded. The PR-1 recursive-split
+//                   walk survives behind SchemaMinerOptions::use_legacy_walk
+//                   for one release.
 
 #ifndef MAIMON_CORE_MAIMON_H_
 #define MAIMON_CORE_MAIMON_H_
@@ -38,8 +42,21 @@ struct MvdMinerOptions {
 };
 
 struct SchemaMinerOptions {
-  /// Stop after this many distinct schemas.
+  /// Stop after this many distinct schemas (result.truncated is set).
   size_t max_schemas = 1000;
+  /// Escape hatch: run the PR-1 shallow recursive-split walk instead of the
+  /// conflict-graph pipeline. Kept for one release; will be removed.
+  bool use_legacy_walk = false;
+  /// Also emit the scheme after every effective split along each join-tree
+  /// assembly (the schemes of the independent set's prefixes), not only the
+  /// full set's scheme. Matches the paper's scheme counts, which include
+  /// coarser schemes.
+  bool emit_intermediate_schemes = true;
+  /// Cap on mined MVDs admitted as conflict-graph vertices, in mined
+  /// order; 0 means all. The default bounds the quadratic graph build (and
+  /// the MIS enumerator's n^2-bit complement adjacency) on very wide
+  /// high-eps runs, where mining can produce 10^5+ full MVDs.
+  size_t max_conflict_mvds = 512;
 };
 
 struct MaimonConfig {
@@ -69,9 +86,19 @@ struct MinedSchema {
 
 struct AsMinerResult {
   std::vector<MinedSchema> schemas;
-  /// Complete (non-extendable) decomposition states enumerated — the
-  /// counterpart of the independent sets ASMiner walks.
+  /// Maximal independent sets of the conflict graph visited (legacy walk:
+  /// complete decomposition states, its counterpart of the same quantity).
   uint64_t independent_sets = 0;
+  /// Conflict-graph shape: vertices = MVDs admitted, edges = incompatible
+  /// pairs. Zero when the legacy walk ran.
+  size_t conflict_vertices = 0;
+  size_t conflict_edges = 0;
+  /// Mined MVDs not admitted as vertices (max_conflict_mvds cap). Non-zero
+  /// means scheme coverage is incomplete even if enumeration finished.
+  size_t mvds_dropped = 0;
+  /// True when enumeration stopped at max_schemas (status stays OK: the cap
+  /// is a caller choice, unlike a blown deadline).
+  bool truncated = false;
   Status status;
 };
 
@@ -79,7 +106,9 @@ class Maimon {
  public:
   Maimon(const Relation& relation, MaimonConfig config);
 
-  MvdMinerResult MineMvds();
+  /// Mines (once) and returns the cached result; the reference stays valid
+  /// for the lifetime of this Maimon.
+  const MvdMinerResult& MineMvds();
   /// Runs MineMvds() first (if not already run), then enumerates schemas.
   AsMinerResult MineSchemas();
 
@@ -88,6 +117,9 @@ class Maimon {
   const MaimonConfig& config() const { return config_; }
 
  private:
+  AsMinerResult MineSchemasLegacy(const MvdMinerResult& mined,
+                                  const Deadline& deadline);
+
   const Relation* relation_;
   MaimonConfig config_;
   std::unique_ptr<PliEntropyEngine> engine_;

@@ -6,15 +6,28 @@
 // (separator candidates differ in one or two attributes), which is what
 // makes this cache the difference between feasible and infeasible mining.
 //
+// Entries may additionally memoize the final H(X) value for their key
+// (PutEntropy/GetEntropy). A memo rides on a resident partition entry for
+// free; otherwise it lives in a value-only entry charged kValueEntryBytes
+// in its own small LRU segment, capped at 1/8 of the byte budget and
+// counted in the shared `bytes` stat. The segment is true LRU (re-queried
+// memos are promoted, the least-recently-used one is recycled), and a memo
+// insert never displaces a resident partition — partitions are the
+// expensive asset. An evicted partition that carries a memo downgrades to
+// a value-only entry when the segment has room, and partition inserts may
+// shed memo entries when nothing else fits — `bytes` never exceeds the
+// budget, and the memo cannot grow without bound on long mining runs.
+//
 // Values live in std::list nodes, so the pointer returned by Get/Put stays
 // valid until that entry itself is evicted — callers may keep using a
 // partition while inserting others, as Put never evicts the entry it just
-// inserted.
+// inserted and PutEntropy evicts only value-only entries.
 
 #ifndef MAIMON_ENTROPY_PLI_CACHE_H_
 #define MAIMON_ENTROPY_PLI_CACHE_H_
 
 #include <cstdint>
+#include <iterator>
 #include <list>
 #include <unordered_map>
 #include <utility>
@@ -29,18 +42,25 @@ class PliCache {
   struct Stats {
     uint64_t hits = 0;
     uint64_t misses = 0;
-    uint64_t insertions = 0;
+    uint64_t insertions = 0;        // partition entries inserted
+    uint64_t value_insertions = 0;  // value-only memo entries inserted
     uint64_t evictions = 0;
-    size_t bytes = 0;  // current resident partition bytes
+    size_t bytes = 0;  // resident bytes: partitions + value-only memo entries
   };
+
+  /// Byte charge of a value-only entropy memo entry: the Entry struct
+  /// (~80 bytes with its empty partition's vector headers) plus the
+  /// std::list node and unordered_map node overhead.
+  static constexpr size_t kValueEntryBytes = 192;
 
   explicit PliCache(size_t capacity_bytes) : capacity_bytes_(capacity_bytes) {}
 
-  /// Looks up `key`, promoting it to most-recently-used. Counts a hit or a
-  /// miss. The pointer is valid until this entry is evicted.
+  /// Looks up the partition for `key`, promoting the entry to
+  /// most-recently-used. Counts a hit or a miss (a value-only memo entry is
+  /// a partition miss). The pointer is valid until this entry is evicted.
   const StrippedPartition* Get(AttrSet key) {
     auto it = index_.find(key);
-    if (it == index_.end()) {
+    if (it == index_.end() || !it->second->has_partition) {
       ++stats_.misses;
       return nullptr;
     }
@@ -49,35 +69,52 @@ class PliCache {
     return &it->second->partition;
   }
 
-  bool Contains(AttrSet key) const { return index_.count(key) != 0; }
+  /// True iff a partition (not just a memoized value) is resident for `key`.
+  bool Contains(AttrSet key) const {
+    auto it = index_.find(key);
+    return it != index_.end() && it->second->has_partition;
+  }
 
   /// Like Get, but without hit/miss accounting: for internal probes (e.g.
   /// the engine re-fetching a subset it just located via ForEachKey) that
   /// would otherwise inflate the hit rate. Still promotes to MRU.
   const StrippedPartition* Touch(AttrSet key) {
     auto it = index_.find(key);
-    if (it == index_.end()) return nullptr;
+    if (it == index_.end() || !it->second->has_partition) return nullptr;
     lru_.splice(lru_.begin(), lru_, it->second);
     return &it->second->partition;
   }
 
-  /// Inserts (or refreshes) `key`. Evicts least-recently-used entries until
-  /// the byte budget holds, but never the entry being inserted; an entry
-  /// larger than the whole budget is rejected. Returns the resident
-  /// partition, or nullptr if rejected.
+  /// Inserts (or refreshes) the partition for `key`, preserving any
+  /// memoized entropy value on the entry. Evicts least-recently-used
+  /// partition entries until the byte budget holds, but never the entry
+  /// being inserted; a partition larger than the whole budget is rejected.
+  /// Returns the resident partition, or nullptr if rejected.
   const StrippedPartition* Put(AttrSet key, StrippedPartition partition) {
     const size_t cost = partition.MemoryBytes();
     if (cost > capacity_bytes_) return nullptr;
     auto it = index_.find(key);
     if (it != index_.end()) {
-      stats_.bytes -= it->second->partition.MemoryBytes();
-      it->second->partition = std::move(partition);
-      stats_.bytes += cost;
-      lru_.splice(lru_.begin(), lru_, it->second);
+      if (it->second->has_partition) {
+        stats_.bytes -= it->second->partition.MemoryBytes();
+        it->second->partition = std::move(partition);
+        stats_.bytes += cost;
+        lru_.splice(lru_.begin(), lru_, it->second);
+      } else {
+        // A memo-only entry upgrades: move it from the value segment into
+        // the partition list, keeping its memoized value.
+        stats_.bytes -= kValueEntryBytes;
+        value_bytes_ -= kValueEntryBytes;
+        it->second->partition = std::move(partition);
+        it->second->has_partition = true;
+        stats_.bytes += cost;
+        ++stats_.insertions;
+        lru_.splice(lru_.begin(), value_lru_, it->second);
+      }
       EvictUntilFits(&*lru_.begin());
       return &lru_.begin()->partition;
     }
-    lru_.push_front(Entry{key, std::move(partition)});
+    lru_.push_front(Entry{key, std::move(partition), 0.0, true, false});
     index_[key] = lru_.begin();
     stats_.bytes += cost;
     ++stats_.insertions;
@@ -85,7 +122,52 @@ class PliCache {
     return &lru_.begin()->partition;
   }
 
-  /// Visits every resident key (no LRU promotion, no hit accounting).
+  /// Memoizes H(key). Attaches to the resident entry when one exists (no
+  /// extra bytes beyond its current cost); otherwise inserts a value-only
+  /// entry into the memo segment, recycling that segment's LRU entry when
+  /// its 1/8-of-budget quota is full. Never touches partition entries.
+  void PutEntropy(AttrSet key, double entropy) {
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->entropy = entropy;
+      it->second->has_entropy = true;
+      Promote(it->second);
+      return;
+    }
+    const size_t quota = capacity_bytes_ / 8;
+    if (kValueEntryBytes > quota) return;
+    // Enforce the segment quota AND the total budget, recycling only memo
+    // entries; when partitions fill the cache, skip the memo instead.
+    while ((value_bytes_ + kValueEntryBytes > quota ||
+            stats_.bytes + kValueEntryBytes > capacity_bytes_) &&
+           !value_lru_.empty()) {
+      Entry& victim = value_lru_.back();
+      stats_.bytes -= kValueEntryBytes;
+      value_bytes_ -= kValueEntryBytes;
+      index_.erase(victim.key);
+      value_lru_.pop_back();
+      ++stats_.evictions;
+    }
+    if (stats_.bytes + kValueEntryBytes > capacity_bytes_) return;
+    value_lru_.push_front(Entry{key, StrippedPartition(), entropy, false, true});
+    index_[key] = value_lru_.begin();
+    stats_.bytes += kValueEntryBytes;
+    value_bytes_ += kValueEntryBytes;
+    ++stats_.value_insertions;
+  }
+
+  /// Looks up a memoized H(key), promoting the entry on success. Does not
+  /// touch the partition hit/miss counters (the engine tracks value hits).
+  bool GetEntropy(AttrSet key, double* entropy) {
+    auto it = index_.find(key);
+    if (it == index_.end() || !it->second->has_entropy) return false;
+    Promote(it->second);
+    *entropy = it->second->entropy;
+    return true;
+  }
+
+  /// Visits every key with a resident partition (no LRU promotion, no hit
+  /// accounting). Value-only memo entries are skipped.
   template <typename Fn>
   void ForEachKey(Fn fn) const {
     for (const Entry& e : lru_) fn(e.key);
@@ -99,21 +181,65 @@ class PliCache {
   struct Entry {
     AttrSet key;
     StrippedPartition partition;
+    double entropy = 0.0;
+    bool has_partition = false;
+    bool has_entropy = false;
   };
 
+  /// Moves an entry to the front of whichever segment it lives in.
+  void Promote(std::list<Entry>::iterator it) {
+    if (it->has_partition) {
+      lru_.splice(lru_.begin(), lru_, it);
+    } else {
+      value_lru_.splice(value_lru_.begin(), value_lru_, it);
+    }
+  }
+
+  /// Evicts cold partition entries until the total budget holds, never
+  /// evicting `keep` (the entry Put just inserted). An evicted partition
+  /// that carries a memoized H(X) is downgraded to a value-only entry when
+  /// the memo segment has room — the memo costs kValueEntryBytes to keep
+  /// and a full intersection chain to recompute. If draining partitions is
+  /// not enough (a near-capacity insert on top of resident memos), memo
+  /// entries are shed too, so `bytes <= capacity` holds unconditionally
+  /// after every insert.
   void EvictUntilFits(const Entry* keep) {
+    const size_t quota = capacity_bytes_ / 8;
     while (stats_.bytes > capacity_bytes_ && !lru_.empty()) {
       Entry& victim = lru_.back();
       if (&victim == keep) break;
-      stats_.bytes -= victim.partition.MemoryBytes();
+      const size_t freed = victim.partition.MemoryBytes();
+      stats_.bytes -= freed;
+      ++stats_.evictions;
+      // Downgrade only when it actually frees memory: a tiny partition's
+      // memo is not worth charging kValueEntryBytes (and possibly shedding
+      // an older memo) to keep.
+      if (victim.has_entropy && freed > kValueEntryBytes &&
+          value_bytes_ + kValueEntryBytes <= quota) {
+        victim.partition = StrippedPartition();
+        victim.has_partition = false;
+        value_lru_.splice(value_lru_.begin(), lru_, std::prev(lru_.end()));
+        stats_.bytes += kValueEntryBytes;
+        value_bytes_ += kValueEntryBytes;
+      } else {
+        index_.erase(victim.key);
+        lru_.pop_back();
+      }
+    }
+    while (stats_.bytes > capacity_bytes_ && !value_lru_.empty()) {
+      Entry& victim = value_lru_.back();
+      stats_.bytes -= kValueEntryBytes;
+      value_bytes_ -= kValueEntryBytes;
       index_.erase(victim.key);
-      lru_.pop_back();
+      value_lru_.pop_back();
       ++stats_.evictions;
     }
   }
 
   size_t capacity_bytes_;
-  std::list<Entry> lru_;  // front = most recently used
+  size_t value_bytes_ = 0;      // resident bytes of value-only entries
+  std::list<Entry> lru_;        // partition entries; front = MRU
+  std::list<Entry> value_lru_;  // value-only memo entries; front = MRU
   std::unordered_map<AttrSet, std::list<Entry>::iterator, AttrSetHash> index_;
   Stats stats_;
 };

@@ -14,9 +14,13 @@ PliEntropyEngine::PliEntropyEngine(const Relation& relation,
       scratch_(relation.NumRows(), -1) {
   if (options_.block_size < 1) options_.block_size = 1;
   singles_.reserve(static_cast<size_t>(relation.NumCols()));
+  single_entropy_.reserve(static_cast<size_t>(relation.NumCols()));
   for (int c = 0; c < relation.NumCols(); ++c) {
     singles_.push_back(
         StrippedPartition::FromColumn(relation.Column(c), relation.DomainSize(c)));
+    // Single-column H is queried by every MvdMeasure: precompute it here
+    // rather than burning evictable memo slots on it.
+    single_entropy_.push_back(singles_.back().Entropy());
   }
 }
 
@@ -37,19 +41,18 @@ double PliEntropyEngine::Entropy(AttrSet attrs) {
   if (attrs.Empty() || relation_->NumRows() == 0) return 0.0;
   assert(relation_->Universe().ContainsAll(attrs));
 
-  if (options_.cache_entropy_values) {
-    auto it = entropy_memo_.find(attrs);
-    if (it != entropy_memo_.end()) {
-      ++value_hits_;
-      return it->second;
-    }
+  // Single attribute: precomputed at construction, never evicted — and
+  // never memoized, so probe the array before the memo hash lookup.
+  if (attrs.Count() == 1) {
+    return single_entropy_[static_cast<size_t>(attrs.First())];
   }
 
-  // Single attribute: the base PLI is already materialized.
-  if (attrs.Count() == 1) {
-    const double h = singles_[static_cast<size_t>(attrs.First())].Entropy();
-    if (options_.cache_entropy_values) entropy_memo_.emplace(attrs, h);
-    return h;
+  if (options_.cache_entropy_values) {
+    double memoized;
+    if (cache_.GetEntropy(attrs, &memoized)) {
+      ++value_hits_;
+      return memoized;
+    }
   }
 
   // Exact-partition probe — the accounted hit/miss event: a hit means the
@@ -57,7 +60,7 @@ double PliEntropyEngine::Entropy(AttrSet attrs) {
   // intersection work follows.
   if (const StrippedPartition* exact = cache_.Get(attrs)) {
     const double h = exact->Entropy();
-    if (options_.cache_entropy_values) entropy_memo_.emplace(attrs, h);
+    if (options_.cache_entropy_values) cache_.PutEntropy(attrs, h);
     return h;
   }
 
@@ -99,7 +102,9 @@ double PliEntropyEngine::Entropy(AttrSet attrs) {
       owned.MemoryBytes() <= cache_.capacity_bytes()) {
     cache_.Put(attrs, std::move(owned));
   }
-  if (options_.cache_entropy_values) entropy_memo_.emplace(attrs, h);
+  // Memoize after the partition Put so the value attaches to the resident
+  // entry for free instead of opening a value-only entry.
+  if (options_.cache_entropy_values) cache_.PutEntropy(attrs, h);
   return h;
 }
 

@@ -3,7 +3,11 @@
 // PliEntropyEngine: the Sec. 6.3 entropy engine. H(X) is computed by
 // intersecting cached stripped partitions instead of scanning the relation:
 //
-//   1. exact-match value cache: a repeated query is a hash lookup;
+//   1. exact-match value memo: a repeated query is a hash lookup. The memo
+//      lives inside the PliCache (attached to partition entries for free,
+//      or as value-only entries in a quota-capped memo segment), so it
+//      shares the byte budget instead of growing without bound. Single
+//      columns bypass it: their H is precomputed at construction;
 //   2. otherwise, start from the largest cached subset partition of X and
 //      fold in the missing attributes one single-column PLI at a time,
 //      reusing one scratch vector (no allocation on the warm path);
@@ -20,7 +24,6 @@
 #define MAIMON_ENTROPY_PLI_ENGINE_H_
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "data/relation.h"
@@ -37,7 +40,8 @@ struct PliEngineOptions {
   int block_size = 10;
   /// Byte budget for the partition LRU cache.
   size_t cache_capacity_bytes = size_t{64} << 20;
-  /// Memoize final H(X) values (exact-match cache, ~16 bytes/entry).
+  /// Memoize final H(X) values in the partition cache (exact-match memo;
+  /// budgeted and LRU-evicted alongside the partitions).
   bool cache_entropy_values = true;
 };
 
@@ -69,8 +73,8 @@ class PliEntropyEngine : public EntropyEngine {
   const Relation* relation_;
   PliEngineOptions options_;
   std::vector<StrippedPartition> singles_;  // one PLI per column, built once
-  PliCache cache_;
-  std::unordered_map<AttrSet, double, AttrSetHash> entropy_memo_;
+  std::vector<double> single_entropy_;      // H per column, never evicted
+  PliCache cache_;  // partitions + the H(X) value memo, one byte budget
   std::vector<int32_t> scratch_;  // size NumRows, kept all -1 between calls
   uint64_t num_queries_ = 0;
   uint64_t value_hits_ = 0;

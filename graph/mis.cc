@@ -10,8 +10,12 @@ namespace {
 class MisEnumerator {
  public:
   MisEnumerator(const Graph& graph,
-                const std::function<bool(const VertexSet&)>& emit)
-      : n_(graph.NumVertices()), emit_(&emit), current_(n_) {
+                const std::function<bool(const VertexSet&)>& emit,
+                const Deadline* deadline)
+      : n_(graph.NumVertices()),
+        emit_(&emit),
+        deadline_(deadline),
+        current_(n_) {
     comp_adj_.reserve(static_cast<size_t>(n_));
     for (int v = 0; v < n_; ++v) {
       VertexSet row(n_);
@@ -29,8 +33,10 @@ class MisEnumerator {
   }
 
  private:
-  // Returns false to propagate an early stop from the callback.
+  // Returns false to propagate an early stop from the callback or the
+  // deadline (polled per node: gaps between emissions can be exponential).
   bool Expand(VertexSet p, VertexSet x) {
+    if (DeadlineExpired(deadline_)) return false;
     if (p.Empty() && x.Empty()) return (*emit_)(current_);
 
     // Pivot: vertex of P ∪ X with most complement-neighbors in P.
@@ -65,6 +71,7 @@ class MisEnumerator {
 
   int n_;
   const std::function<bool(const VertexSet&)>* emit_;
+  const Deadline* deadline_;
   VertexSet current_;
   std::vector<VertexSet> comp_adj_;
 };
@@ -72,11 +79,12 @@ class MisEnumerator {
 }  // namespace
 
 bool EnumerateMaximalIndependentSets(
-    const Graph& graph, const std::function<bool(const VertexSet&)>& emit) {
+    const Graph& graph, const std::function<bool(const VertexSet&)>& emit,
+    const Deadline* deadline) {
   if (graph.NumVertices() == 0) {
     return emit(VertexSet(0));
   }
-  MisEnumerator enumerator(graph, emit);
+  MisEnumerator enumerator(graph, emit, deadline);
   return enumerator.Run();
 }
 

@@ -13,6 +13,8 @@
 #include <functional>
 #include <vector>
 
+#include "util/stopwatch.h"
+
 namespace maimon {
 
 class VertexSet {
@@ -117,9 +119,13 @@ class Graph {
 };
 
 /// Calls `emit` once per maximal independent set; stop by returning false.
-/// Returns false iff the enumeration was stopped by the callback.
+/// `deadline` (nullable) is polled inside the recursion, so a blown budget
+/// stops the search even when the gap between successive maximal sets is
+/// exponential. Returns false iff the enumeration was stopped by the
+/// callback or the deadline.
 bool EnumerateMaximalIndependentSets(
-    const Graph& graph, const std::function<bool(const VertexSet&)>& emit);
+    const Graph& graph, const std::function<bool(const VertexSet&)>& emit,
+    const Deadline* deadline = nullptr);
 
 }  // namespace maimon
 

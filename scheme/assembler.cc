@@ -1,0 +1,106 @@
+// Copyright (c) Maimon-cpp authors. Licensed under the MIT license.
+
+#include "scheme/assembler.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace maimon {
+namespace {
+
+// Canonical application order: by key, then by the (order-insensitive)
+// side pair. Makes the emitted intermediate chain independent of the order
+// the miner happened to discover the MVDs in.
+bool CanonicalLess(const Mvd* a, const Mvd* b) {
+  if (a->key() != b->key()) return a->key() < b->key();
+  const uint64_t a_lo = std::min(a->deps()[0].bits(), a->deps()[1].bits());
+  const uint64_t b_lo = std::min(b->deps()[0].bits(), b->deps()[1].bits());
+  if (a_lo != b_lo) return a_lo < b_lo;
+  return std::max(a->deps()[0].bits(), a->deps()[1].bits()) <
+         std::max(b->deps()[0].bits(), b->deps()[1].bits());
+}
+
+}  // namespace
+
+bool SchemeAssembler::Assemble(
+    std::vector<const Mvd*> mvds, bool emit_intermediates,
+    const Deadline* deadline,
+    const std::function<bool(AssembledScheme&&)>& emit) {
+  nodes_.assign(1, universe_);
+  edges_.clear();
+  std::sort(mvds.begin(), mvds.end(), CanonicalLess);
+
+  double j_measure = 0.0;
+  bool emitted = false;
+  for (const Mvd* phi : mvds) {
+    if (DeadlineExpired(deadline)) return false;
+    const AttrSet key = phi->key();
+    // Pick the node to split: it must contain the key, both projected sides
+    // must be non-empty, and no incident separator may straddle the parts
+    // (the key can sit inside several nodes when it overlaps separators —
+    // only one of them hosts an effective split).
+    int target = -1;
+    AttrSet side1, side2, part1, part2;
+    for (size_t t = 0; t < nodes_.size() && target < 0; ++t) {
+      if (!nodes_[t].ContainsAll(key)) continue;
+      const AttrSet y = phi->deps()[0].Intersect(nodes_[t]);
+      const AttrSet z = phi->deps()[1].Intersect(nodes_[t]);
+      if (y.Empty() || z.Empty()) continue;
+      const AttrSet p1 = key.Union(y);
+      const AttrSet p2 = key.Union(z);
+      bool straddles = false;
+      for (const JoinTreeEdge& e : edges_) {
+        const int ti = static_cast<int>(t);
+        if (e.node_a != ti && e.node_b != ti) continue;
+        if (!p1.ContainsAll(e.separator) && !p2.ContainsAll(e.separator)) {
+          straddles = true;
+          break;
+        }
+      }
+      if (straddles) continue;
+      target = static_cast<int>(t);
+      side1 = y;
+      side2 = z;
+      part1 = p1;
+      part2 = p2;
+    }
+    if (target < 0) {
+      // The refinement is already implied by earlier splits (or, for a
+      // non-compatible input set, inadmissible): contributes no edge.
+      ++degenerate_splits_;
+      continue;
+    }
+
+    j_measure += calc_->MvdMeasure(key, side1, side2);
+    const int fresh = static_cast<int>(nodes_.size());
+    nodes_[static_cast<size_t>(target)] = part1;
+    nodes_.push_back(part2);
+    // Reattach former neighbors to whichever part contains their separator
+    // (running intersection: exactly one part does unless the separator is
+    // inside the key, in which case either part keeps the tree valid).
+    for (JoinTreeEdge& e : edges_) {
+      if (e.node_a == target && !part1.ContainsAll(e.separator)) {
+        e.node_a = fresh;
+      } else if (e.node_b == target && !part1.ContainsAll(e.separator)) {
+        e.node_b = fresh;
+      }
+    }
+    edges_.push_back({target, fresh, key});
+
+    if (emit_intermediates) {
+      AssembledScheme scheme{Schema(nodes_), j_measure};
+      if (scheme.schema.IsAcyclic()) {  // GYO guard; holds by construction
+        emitted = true;
+        if (!emit(std::move(scheme))) return false;
+      }
+    }
+  }
+
+  if (!emitted) {
+    AssembledScheme scheme{Schema(nodes_), j_measure};
+    if (scheme.schema.IsAcyclic() && !emit(std::move(scheme))) return false;
+  }
+  return true;
+}
+
+}  // namespace maimon

@@ -1,0 +1,85 @@
+// Copyright (c) Maimon-cpp authors. Licensed under the MIT license.
+//
+// SchemeAssembler: turns a set of pairwise-compatible full MVDs (a maximal
+// independent set of the conflict graph) into a join tree by iterated
+// splits, maintaining the tree explicitly — nodes are relation schemas,
+// edges carry separators — so neighbor reattachment can verify the
+// running-intersection property at every step. Each effective split costs
+// one J evaluation from the InfoCalc oracle; the accumulated sum is the
+// derivation's J estimate (the ranker recomputes the exact join-tree J).
+//
+// For pairwise-compatible sets assembly cannot fail: every MVD's key lies
+// inside one side of every other split, so a node containing the key always
+// exists and no neighbor separator can straddle a split. MVDs whose split
+// is degenerate at that point (one projected side empty — the refinement is
+// already implied by earlier splits) are skipped. A GYO acyclicity check
+// guards every emitted scheme anyway; cyclic schemes are outside ASMiner's
+// output space and would break join-tree evaluation downstream.
+
+#ifndef MAIMON_SCHEME_ASSEMBLER_H_
+#define MAIMON_SCHEME_ASSEMBLER_H_
+
+#include <functional>
+#include <vector>
+
+#include "core/mvd.h"
+#include "core/schema.h"
+#include "entropy/info_calc.h"
+#include "util/attr_set.h"
+#include "util/stopwatch.h"
+
+namespace maimon {
+
+/// One edge of the assembled join tree. Node indices refer ONLY to the
+/// assembler's nodes() list — the emitted Schema canonicalizes (sorts and
+/// subsumption-drops) its relations, so Schema::Relations() positions do
+/// not correspond to these indices.
+struct JoinTreeEdge {
+  int node_a = 0;
+  int node_b = 0;
+  AttrSet separator;
+};
+
+struct AssembledScheme {
+  Schema schema;
+  /// Sum of I(side1; side2 | key) over the splits applied so far.
+  double j_measure = 0.0;
+};
+
+class SchemeAssembler {
+ public:
+  SchemeAssembler(const InfoCalc* calc, AttrSet universe)
+      : calc_(calc), universe_(universe) {}
+
+  /// Applies `mvds` as join-tree splits in a canonical order (sorted by
+  /// key, then sides — deterministic regardless of mining order). When
+  /// `emit_intermediates` is set, `emit` receives the scheme after every
+  /// effective split (the last call carries the full set's scheme);
+  /// otherwise only the final scheme is emitted. `emit` returns false to
+  /// stop early. `deadline` (nullable) is polled before every split — each
+  /// effective split costs a J evaluation (3 entropy queries), which on
+  /// wide relations is the budget-dominating step. Returns false iff
+  /// stopped by the callback or the deadline.
+  bool Assemble(std::vector<const Mvd*> mvds, bool emit_intermediates,
+                const Deadline* deadline,
+                const std::function<bool(AssembledScheme&&)>& emit);
+
+  /// Join tree of the last Assemble call (nodes + separator edges).
+  const std::vector<AttrSet>& nodes() const { return nodes_; }
+  const std::vector<JoinTreeEdge>& edges() const { return edges_; }
+
+  /// Splits skipped across the assembler's lifetime because both projected
+  /// sides could not be made non-empty (refinement already implied).
+  uint64_t degenerate_splits() const { return degenerate_splits_; }
+
+ private:
+  const InfoCalc* calc_;
+  AttrSet universe_;
+  std::vector<AttrSet> nodes_;
+  std::vector<JoinTreeEdge> edges_;
+  uint64_t degenerate_splits_ = 0;
+};
+
+}  // namespace maimon
+
+#endif  // MAIMON_SCHEME_ASSEMBLER_H_

@@ -1,0 +1,45 @@
+// Copyright (c) Maimon-cpp authors. Licensed under the MIT license.
+
+#include "scheme/conflict_graph.h"
+
+namespace maimon {
+
+bool MvdsCompatible(const Mvd& a, const Mvd& b) {
+  // phi_a = X_a ->> Y_a | Z_a splits the universe into the halves
+  // X_a ∪ Y_a and X_a ∪ Z_a. For tree edges the halves must nest:
+  // (X_a ∪ Y_a) ⊆ (X_b ∪ Y_b) and (X_b ∪ Z_b) ⊆ (X_a ∪ Z_a) for some
+  // labeling of sides. Because the three parts of a full MVD partition the
+  // universe, the half containments reduce to pure side containments:
+  // Y_a ⊆ Y_b and Z_b ⊆ Z_a (complement both sides of each inclusion).
+  const std::vector<AttrSet>& da = a.deps();
+  const std::vector<AttrSet>& db = b.deps();
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 2; ++j) {
+      if (db[static_cast<size_t>(j)].ContainsAll(da[static_cast<size_t>(i)]) &&
+          da[static_cast<size_t>(1 - i)].ContainsAll(
+              db[static_cast<size_t>(1 - j)])) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+Graph BuildConflictGraph(const std::vector<Mvd>& mvds, size_t* num_edges) {
+  const int n = static_cast<int>(mvds.size());
+  Graph graph(n);
+  size_t edges = 0;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (!MvdsCompatible(mvds[static_cast<size_t>(i)],
+                          mvds[static_cast<size_t>(j)])) {
+        graph.AddEdge(i, j);
+        ++edges;
+      }
+    }
+  }
+  if (num_edges != nullptr) *num_edges = edges;
+  return graph;
+}
+
+}  // namespace maimon

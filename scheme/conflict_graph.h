@@ -1,0 +1,44 @@
+// Copyright (c) Maimon-cpp authors. Licensed under the MIT license.
+//
+// Conflict graph over mined full MVDs (Sec. 7). Two full MVDs are
+// *compatible* when they can be realized as two edges of one join tree:
+// each edge of a join tree splits the universe into two overlapping halves
+// (the subtree attribute sets, meeting in the edge's separator), and two
+// such splits coexist in a tree iff they nest — one half of the first is
+// contained in a half of the second while the complementary halves nest the
+// other way. In side terms (key X, sides Y | Z) that is the split-agreement
+// test: some side of phi1 fits inside a side of phi2 AND phi2's opposite
+// side fits back inside phi1's opposite side. Keys straddling the other
+// MVD's split, or crossing side assignments of shared free attributes, fail
+// the test.
+//
+// The conflict graph has one vertex per mined MVD and an edge per
+// INcompatible pair, so the pairwise-compatible sets ASMiner assembles into
+// join trees are exactly its independent sets; maximal ones stream out of
+// graph/mis.h (Theorem 7.3's substrate).
+
+#ifndef MAIMON_SCHEME_CONFLICT_GRAPH_H_
+#define MAIMON_SCHEME_CONFLICT_GRAPH_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/mvd.h"
+#include "graph/mis.h"
+
+namespace maimon {
+
+/// True iff the two full MVDs (over the same universe) can be edges of one
+/// join tree. Symmetric; an MVD is compatible with itself.
+bool MvdsCompatible(const Mvd& a, const Mvd& b);
+
+/// Vertices are indices into `mvds`; edge (i, j) iff the pair is
+/// incompatible. All MVDs must be full over the same universe (which is how
+/// FullMvdSearch mines them). `num_edges` (optional) receives the conflict
+/// count.
+Graph BuildConflictGraph(const std::vector<Mvd>& mvds,
+                         size_t* num_edges = nullptr);
+
+}  // namespace maimon
+
+#endif  // MAIMON_SCHEME_CONFLICT_GRAPH_H_

@@ -1,0 +1,89 @@
+// Copyright (c) Maimon-cpp authors. Licensed under the MIT license.
+
+#include "scheme/ranker.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "util/stopwatch.h"
+
+namespace maimon {
+namespace {
+
+// A scheme plus its canonical string, precomputed so the sort comparator
+// never allocates (at eps = 0 most schemes tie on all three metrics and
+// fall through to the string tiebreak).
+struct Scored {
+  RankedScheme scheme;
+  std::string canonical;
+};
+
+// Strict-weak order, best first: primary key, then the other two quality
+// axes, then the canonical string so equal-quality schemes rank stably.
+bool Better(const Scored& a, const Scored& b, RankKey primary) {
+  auto by_j = [](const Scored& x, const Scored& y) {
+    return x.scheme.report.j_measure < y.scheme.report.j_measure;
+  };
+  auto by_s = [](const Scored& x, const Scored& y) {
+    return x.scheme.report.savings_pct > y.scheme.report.savings_pct;
+  };
+  auto by_e = [](const Scored& x, const Scored& y) {
+    return x.scheme.report.spurious_pct < y.scheme.report.spurious_pct;
+  };
+  using Cmp = bool (*)(const Scored&, const Scored&);
+  Cmp order[3];
+  switch (primary) {
+    case RankKey::kJMeasure:
+      order[0] = +by_j, order[1] = +by_s, order[2] = +by_e;
+      break;
+    case RankKey::kSavings:
+      order[0] = +by_s, order[1] = +by_e, order[2] = +by_j;
+      break;
+    case RankKey::kSpurious:
+      order[0] = +by_e, order[1] = +by_s, order[2] = +by_j;
+      break;
+  }
+  for (Cmp cmp : order) {
+    if (cmp(a, b)) return true;
+    if (cmp(b, a)) return false;
+  }
+  return a.canonical < b.canonical;
+}
+
+}  // namespace
+
+RankResult RankSchemes(const Relation& relation,
+                       const std::vector<MinedSchema>& schemes,
+                       const InfoCalc& oracle, const RankerOptions& options) {
+  RankResult result;
+  const Deadline deadline = options.budget_seconds > 0
+                                ? Deadline::After(options.budget_seconds)
+                                : Deadline::Infinite();
+  std::vector<Scored> scored;
+  scored.reserve(schemes.size());
+  for (const MinedSchema& s : schemes) {
+    if (deadline.Expired()) {
+      result.status = Status::DeadlineExceeded("scheme ranking budget");
+      break;
+    }
+    RankedScheme ranked;
+    ranked.schema = s.schema;
+    ranked.derivation_j = s.j_measure;
+    ranked.report = EvaluateSchema(relation, s.schema, oracle);
+    scored.push_back({std::move(ranked), s.schema.ToString()});
+  }
+  result.evaluated = scored.size();
+
+  const RankKey primary = options.primary;
+  std::sort(scored.begin(), scored.end(),
+            [primary](const Scored& a, const Scored& b) {
+              return Better(a, b, primary);
+            });
+  if (scored.size() > options.top_k) scored.resize(options.top_k);
+  result.ranked.reserve(scored.size());
+  for (Scored& s : scored) result.ranked.push_back(std::move(s.scheme));
+  return result;
+}
+
+}  // namespace maimon

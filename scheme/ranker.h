@@ -1,0 +1,58 @@
+// Copyright (c) Maimon-cpp authors. Licensed under the MIT license.
+//
+// SchemeRanker: score mined acyclic schemes with the Sec. 8 S/E/J quality
+// metrics (join/metrics.h — exact acyclic-join counting, no
+// materialization) and return the top-k under a configurable primary key.
+// Scoring a scheme is the expensive step (a counting DP over its join
+// tree), so ranking is deadline-bounded: on expiry the schemes scored so
+// far are ranked and returned with kDeadlineExceeded.
+
+#ifndef MAIMON_SCHEME_RANKER_H_
+#define MAIMON_SCHEME_RANKER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/maimon.h"
+#include "data/relation.h"
+#include "entropy/info_calc.h"
+#include "join/metrics.h"
+#include "util/status.h"
+
+namespace maimon {
+
+enum class RankKey {
+  kJMeasure,     // information loss, ascending (paper's J)
+  kSavings,      // storage savings S, descending
+  kSpurious,     // spurious-tuple rate E, ascending
+};
+
+struct RankerOptions {
+  size_t top_k = 20;
+  RankKey primary = RankKey::kJMeasure;
+  /// Wall-clock budget for scoring; <= 0 means unbounded.
+  double budget_seconds = 0.0;
+};
+
+struct RankedScheme {
+  Schema schema;
+  SchemaReport report;    // exact S/E/J from join/metrics.h
+  double derivation_j = 0.0;  // J accumulated along the mining derivation
+};
+
+struct RankResult {
+  std::vector<RankedScheme> ranked;  // best first, at most top_k
+  size_t evaluated = 0;              // schemes scored before any deadline
+  Status status;
+};
+
+/// Scores every scheme (until the budget runs out) and returns the top-k
+/// under `options.primary`, with the remaining two metrics as tiebreakers
+/// and the canonical schema string as the final deterministic tiebreak.
+RankResult RankSchemes(const Relation& relation,
+                       const std::vector<MinedSchema>& schemes,
+                       const InfoCalc& oracle, const RankerOptions& options);
+
+}  // namespace maimon
+
+#endif  // MAIMON_SCHEME_RANKER_H_

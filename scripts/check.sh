@@ -4,16 +4,37 @@
 # CI gate: configure with warnings-as-errors, build everything, run the unit
 # tests, and smoke-run the entropy-engine micro bench when google-benchmark
 # is available. Run from anywhere; builds into <repo>/build-check.
+#
+#   --slow   additionally register and run the `slow`-labeled figure-bench
+#            ctest entries (>= 10 s/eps budgets). The default lane excludes
+#            them so it stays fast.
 
 set -euo pipefail
+
+slow=0
+for arg in "$@"; do
+  case "${arg}" in
+    --slow) slow=1 ;;
+    *) echo "unknown argument: ${arg}" >&2; exit 2 ;;
+  esac
+done
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="${repo_root}/build-check"
 jobs="$(nproc 2>/dev/null || echo 2)"
 
-cmake -B "${build_dir}" -S "${repo_root}" -DMAIMON_WERROR=ON
+slow_opt="OFF"
+if [[ "${slow}" -eq 1 ]]; then slow_opt="ON"; fi
+
+cmake -B "${build_dir}" -S "${repo_root}" -DMAIMON_WERROR=ON \
+      -DMAIMON_SLOW_BENCH_TESTS="${slow_opt}"
 cmake --build "${build_dir}" -j "${jobs}"
-ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}"
+ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}" -LE slow
+
+if [[ "${slow}" -eq 1 ]]; then
+  echo "--- slow lane: figure benches at >= 10 s/eps budgets ---"
+  ctest --test-dir "${build_dir}" --output-on-failure -L slow
+fi
 
 if [[ -x "${build_dir}/bench_entropy_engine" ]]; then
   echo "--- smoke: bench_entropy_engine ---"

@@ -72,6 +72,76 @@ TEST_CASE(MisMatchesBruteForce) {
   }
 }
 
+TEST_CASE(MisPivotStressOn12VertexGraphs) {
+  // graph/mis.h is load-bearing for ASMiner (the conflict-graph pipeline
+  // consumes every maximal independent set): cross-check the pivoting
+  // enumerator against brute force on fixed-size 12-vertex instances
+  // across the full density range, verifying independence and maximality
+  // of every emitted set, duplicate-freeness, and completeness.
+  Rng rng(17);
+  for (int trial = 0; trial < 24; ++trial) {
+    const int n = 12;
+    const double density = static_cast<double>(trial % 8) / 7.0;
+    Graph g(n);
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        if (rng.Bernoulli(density)) g.AddEdge(i, j);
+      }
+    }
+    std::set<uint64_t> emitted;
+    bool all_valid = true;
+    bool duplicates = false;
+    EnumerateMaximalIndependentSets(g, [&](const VertexSet& s) {
+      uint64_t mask = 0;
+      s.ForEach([&](int v) { mask |= uint64_t{1} << v; });
+      if (!IsIndependent(g, mask)) all_valid = false;
+      for (int v = 0; v < n; ++v) {  // maximal: no vertex can be added
+        if (!((mask >> v) & 1) &&
+            IsIndependent(g, mask | (uint64_t{1} << v))) {
+          all_valid = false;
+        }
+      }
+      duplicates |= !emitted.insert(mask).second;
+      return true;
+    });
+    CHECK(all_valid);
+    CHECK(!duplicates);
+    CHECK_EQ(emitted, BruteMis(g));
+  }
+}
+
+TEST_CASE(MisEarlyStopStreamsValidPrefixes) {
+  // Streaming consumption (first-k sets) must still emit only maximal
+  // independent sets — the ASMiner pipeline stops mid-enumeration at
+  // max_schemas and on deadline expiry.
+  Rng rng(19);
+  for (int trial = 0; trial < 8; ++trial) {
+    const int n = 12;
+    Graph g(n);
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        if (rng.Bernoulli(0.4)) g.AddEdge(i, j);
+      }
+    }
+    const std::set<uint64_t> reference = BruteMis(g);
+    const size_t limit = 3;
+    std::set<uint64_t> emitted;
+    const bool finished =
+        EnumerateMaximalIndependentSets(g, [&](const VertexSet& s) {
+          uint64_t mask = 0;
+          s.ForEach([&](int v) { mask |= uint64_t{1} << v; });
+          emitted.insert(mask);
+          return emitted.size() < limit;
+        });
+    // With exactly `limit` sets the callback still returns false on the
+    // last one, so the enumerator reports a stop; `finished` is only true
+    // when enumeration ran out of sets before the limit.
+    CHECK_EQ(finished, reference.size() < limit);
+    CHECK_EQ(emitted.size(), std::min(limit, reference.size()));
+    for (uint64_t mask : emitted) CHECK(reference.count(mask) == 1);
+  }
+}
+
 TEST_CASE(MisEarlyStopIsHonored) {
   Graph g(10);  // empty graph: single MIS = all vertices
   int count = 0;

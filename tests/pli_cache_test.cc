@@ -87,6 +87,119 @@ TEST_CASE(PutNeverEvictsTheInsertedEntryAndPointersAreStable) {
   CHECK_EQ(third->NumRows(), size_t{128});
 }
 
+TEST_CASE(EntropyMemoSharesTheByteBudgetAndLru) {
+  // The memo segment gets 1/8 of the budget: room for exactly three
+  // value-only entries.
+  PliCache cache(PliCache::kValueEntryBytes * 24);
+  double h = 0.0;
+  CHECK(!cache.GetEntropy(AttrSet(1), &h));
+  cache.PutEntropy(AttrSet(1), 1.5);
+  CHECK_EQ(cache.stats().bytes, PliCache::kValueEntryBytes);
+  CHECK(cache.GetEntropy(AttrSet(1), &h));
+  CHECK_NEAR(h, 1.5, 0.0);
+
+  // Value-only entries are invisible to the partition interface.
+  CHECK(!cache.Contains(AttrSet(1)));
+  CHECK(cache.Get(AttrSet(1)) == nullptr);
+  int partition_keys = 0;
+  cache.ForEachKey([&](AttrSet) { ++partition_keys; });
+  CHECK_EQ(partition_keys, 0);
+
+  // The fourth insert recycles the segment's least-recently-used entry:
+  // AttrSet(1) (its promotion predates the later inserts) goes, the rest
+  // stay — true LRU within the memo segment, partitions never touched.
+  cache.PutEntropy(AttrSet(2), 2.5);
+  cache.PutEntropy(AttrSet(4), 3.5);
+  cache.PutEntropy(AttrSet(8), 4.5);
+  CHECK(!cache.GetEntropy(AttrSet(1), &h));
+  CHECK(cache.GetEntropy(AttrSet(4), &h));
+  CHECK(cache.GetEntropy(AttrSet(8), &h));
+  CHECK_EQ(cache.stats().value_insertions, 4u);
+  CHECK_EQ(cache.stats().evictions, 1u);
+  CHECK(cache.stats().bytes <= cache.capacity_bytes());
+}
+
+TEST_CASE(EntropyMemoAttachesToPartitionEntries) {
+  PliCache cache(size_t{1} << 20);
+  cache.Put(AttrSet(1), MakePartition(64));
+  const size_t bytes_before = cache.stats().bytes;
+  cache.PutEntropy(AttrSet(1), 7.0);  // rides the resident entry for free
+  CHECK_EQ(cache.stats().bytes, bytes_before);
+  double h = 0.0;
+  CHECK(cache.GetEntropy(AttrSet(1), &h));
+  CHECK_NEAR(h, 7.0, 0.0);
+
+  // Upgrading a value-only entry to a partition entry keeps the memo and
+  // re-charges the entry at the partition's cost.
+  cache.PutEntropy(AttrSet(2), 9.0);
+  const size_t with_value = cache.stats().bytes;
+  CHECK(cache.Put(AttrSet(2), MakePartition(64)) != nullptr);
+  CHECK_EQ(cache.stats().bytes,
+           with_value - PliCache::kValueEntryBytes +
+               MakePartition(64).MemoryBytes());
+  CHECK(cache.Contains(AttrSet(2)));
+  CHECK(cache.GetEntropy(AttrSet(2), &h));
+  CHECK_NEAR(h, 9.0, 0.0);
+}
+
+TEST_CASE(PartitionInsertShedsMemoEntriesToHoldBudget) {
+  const size_t big = MakePartition(2048).MemoryBytes();
+  PliCache cache(big + PliCache::kValueEntryBytes);
+  cache.PutEntropy(AttrSet(2), 1.0);
+  cache.PutEntropy(AttrSet(4), 2.0);
+  CHECK(cache.stats().bytes == 2 * PliCache::kValueEntryBytes);
+  // The near-capacity partition fits only if memo entries are shed: the
+  // budget invariant must hold after the insert.
+  CHECK(cache.Put(AttrSet(1), MakePartition(2048)) != nullptr);
+  CHECK(cache.Contains(AttrSet(1)));
+  CHECK(cache.stats().bytes <= cache.capacity_bytes());
+}
+
+TEST_CASE(EvictedPartitionKeepsItsMemoAsValueEntry) {
+  const size_t entry_bytes = MakePartition(256).MemoryBytes();
+  PliCache cache(8 * entry_bytes);  // memo quota = entry_bytes: plenty
+  cache.Put(AttrSet(1), MakePartition(256));
+  cache.PutEntropy(AttrSet(1), 3.25);
+  // Push key 1 out of the partition set with eight fresh partitions.
+  for (int k = 1; k <= 8; ++k) {
+    cache.Put(AttrSet(uint64_t{1} << (k + 1)), MakePartition(256));
+  }
+  CHECK(!cache.Contains(AttrSet(1)));  // partition evicted...
+  double h = 0.0;
+  CHECK(cache.GetEntropy(AttrSet(1), &h));  // ...but the memo survived
+  CHECK_NEAR(h, 3.25, 0.0);
+  CHECK(cache.stats().bytes <= cache.capacity_bytes());
+}
+
+TEST_CASE(MemoInsertNeverDisplacesAPartition) {
+  const size_t part_bytes = MakePartition(256).MemoryBytes();
+  PliCache cache(part_bytes + PliCache::kValueEntryBytes / 2);
+  const StrippedPartition* resident = cache.Put(AttrSet(1), MakePartition(256));
+  CHECK(resident != nullptr);
+  // No room for a value entry without evicting the partition: the memo is
+  // skipped, the resident pointer stays valid, and the budget holds.
+  cache.PutEntropy(AttrSet(2), 5.0);
+  CHECK(cache.Contains(AttrSet(1)));
+  CHECK_EQ(resident->NumRows(), size_t{256});
+  double h = 0.0;
+  CHECK(!cache.GetEntropy(AttrSet(2), &h));
+  CHECK_EQ(cache.stats().evictions, 0u);
+  CHECK(cache.stats().bytes <= cache.capacity_bytes());
+}
+
+TEST_CASE(MemoInsertHoldsTheTotalBudgetOnNearFullCache) {
+  // Partition fills the cache but leaves the memo quota nominally open:
+  // PutEntropy must still respect the TOTAL budget (skip, not overflow).
+  const size_t part_bytes = MakePartition(2048).MemoryBytes();
+  PliCache cache(part_bytes + PliCache::kValueEntryBytes / 2);
+  CHECK(cache.Put(AttrSet(1), MakePartition(2048)) != nullptr);
+  cache.PutEntropy(AttrSet(2), 5.0);
+  double h = 0.0;
+  CHECK(!cache.GetEntropy(AttrSet(2), &h));
+  CHECK(cache.Contains(AttrSet(1)));
+  CHECK(cache.stats().bytes <= cache.capacity_bytes());
+}
+
 TEST_CASE(RefreshingAKeyUpdatesBytesWithoutDoubleCounting) {
   PliCache cache(size_t{1} << 20);
   cache.Put(AttrSet(1), MakePartition(64));
