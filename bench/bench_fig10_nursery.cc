@@ -45,13 +45,12 @@ void PrintSchemeRow(const SchemeRow& row) {
               row.schema.c_str());
 }
 
-void Run(double budget_per_eps, size_t max_schemas, bool legacy) {
+void Run(double budget_per_eps, size_t max_schemas) {
   Relation nursery = NurseryDataset();
   Header("Figures 10-11: Nursery use case",
          "rows=" + std::to_string(nursery.NumRows()) +
              " cells=" + std::to_string(nursery.CellCount()) +
-             " (matches paper: 12960 rows, 116640 cells)" +
-             (legacy ? " [legacy recursive-split walk]" : ""));
+             " (matches paper: 12960 rows, 116640 cells)");
 
   std::vector<SchemeRow> all;
   for (double eps : {0.0, 0.02, 0.05, 0.08, 0.1, 0.12, 0.15, 0.18, 0.2,
@@ -61,7 +60,6 @@ void Run(double budget_per_eps, size_t max_schemas, bool legacy) {
     config.mvd_budget_seconds = budget_per_eps;
     config.schema_budget_seconds = budget_per_eps;
     config.schemas.max_schemas = max_schemas;
-    config.schemas.use_legacy_walk = legacy;
     Maimon maimon(nursery, config);
     AsMinerResult schemas = maimon.MineSchemas();
 
@@ -146,16 +144,13 @@ void Run(double budget_per_eps, size_t max_schemas, bool legacy) {
 int main(int argc, char** argv) {
   double budget = 5.0;
   size_t max_schemas = 200;
-  bool legacy = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--budget=", 9) == 0) {
       budget = std::atof(argv[i] + 9);
     } else if (std::strncmp(argv[i], "--max-schemas=", 14) == 0) {
       max_schemas = static_cast<size_t>(std::atoll(argv[i] + 14));
-    } else if (std::strcmp(argv[i], "--legacy") == 0) {
-      legacy = true;
     }
   }
-  maimon::bench::Run(budget, max_schemas, legacy);
+  maimon::bench::Run(budget, max_schemas);
   return 0;
 }

@@ -6,55 +6,25 @@
 // for thresholds eps in {0, 0.01, 0.1}. Expected shape: runtime grows
 // mostly linearly with the row count while the number of minimal
 // separators stays roughly constant.
+//
+// --threads=N / -tN shards the (a,b) pair grid across N workers (0 = all
+// hardware threads); every row carries a tN marker. On completed (non-TL)
+// runs the separator counts are thread-count-invariant — only time[s]
+// moves; a TL row stops at a thread-dependent point in the grid, so its
+// partial count may differ.
 
 #include <cstring>
-#include <unordered_set>
 
 #include "bench/bench_util.h"
-#include "core/min_seps.h"
-#include "entropy/pli_engine.h"
 
 namespace maimon {
 namespace bench {
 namespace {
 
-struct MinSepRun {
-  size_t separators = 0;
-  double seconds = 0.0;
-  bool timed_out = false;
-};
-
-// Times minimal-separator mining over all attribute pairs (the step the
-// paper reports dominates total runtime).
-MinSepRun MineAllMinSeps(const Relation& relation, double eps,
-                         double budget_seconds) {
-  PliEntropyEngine engine(relation);
-  InfoCalc calc(&engine);
-  Deadline deadline = Deadline::After(budget_seconds);
-  FullMvdSearch search(calc, eps, &deadline);
-  MinSepRun out;
-  Stopwatch watch;
-  std::unordered_set<AttrSet, AttrSetHash> seps;
-  const int n = relation.NumCols();
-  for (int a = 0; a < n && !out.timed_out; ++a) {
-    for (int b = a + 1; b < n; ++b) {
-      MinSepsResult result =
-          MineMinSeps(&search, relation.Universe(), a, b, &deadline);
-      for (AttrSet s : result.separators) seps.insert(s);
-      if (!result.status.ok()) {
-        out.timed_out = true;
-        break;
-      }
-    }
-  }
-  out.separators = seps.size();
-  out.seconds = watch.ElapsedSeconds();
-  return out;
-}
-
-void Run(size_t row_cap, double budget) {
+void Run(size_t row_cap, double budget, int num_threads) {
   Header("Figure 13: row scalability of minimal separator mining",
-         "10%..100% of rows, all columns, eps in {0, 0.01, 0.1}");
+         "10%..100% of rows, all columns, eps in {0, 0.01, 0.1}; threads=" +
+             std::to_string(ResolveNumThreads(num_threads)));
   for (const char* name : {"Image", "Four Square (Spots)", "Ditag Feature"}) {
     PlantedDataset d = LoadShaped(name, row_cap);
     std::printf("%8s | %10s | %10s %10s | %s\n", "rows", "eps", "time[s]",
@@ -63,10 +33,11 @@ void Run(size_t row_cap, double budget) {
     for (double frac : {0.1, 0.25, 0.5, 0.75, 1.0}) {
       Relation sample = d.relation.SampleRows(frac, /*seed=*/7);
       for (double eps : {0.0, 0.01, 0.1}) {
-        MinSepRun run = MineAllMinSeps(sample, eps, budget);
+        PairGridMinSeps run =
+            MineAllMinSeps(sample, eps, budget, num_threads);
         std::printf("%8zu | %10.2f | %10.3f %10zu | %s\n", sample.NumRows(),
                     eps, run.seconds, run.separators,
-                    run.timed_out ? "TL" : "");
+                    ThreadMarker(run.threads_used, run.timed_out).c_str());
       }
     }
     std::printf("\n");
@@ -80,13 +51,15 @@ void Run(size_t row_cap, double budget) {
 int main(int argc, char** argv) {
   size_t row_cap = 4000;
   double budget = 5.0;
+  int num_threads = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--rows=", 7) == 0) {
       row_cap = static_cast<size_t>(std::atoll(argv[i] + 7));
     } else if (std::strncmp(argv[i], "--budget=", 9) == 0) {
       budget = std::atof(argv[i] + 9);
+    } else if (maimon::bench::ParseThreadsFlag(argv[i], &num_threads)) {
     }
   }
-  maimon::bench::Run(row_cap, budget);
+  maimon::bench::Run(row_cap, budget, num_threads);
   return 0;
 }

@@ -8,22 +8,26 @@
 // count (the full-MVD search is exponential in it) and also grows with the
 // number of minimal separators discovered; wide configurations hit the
 // budget (the paper's red clock).
+//
+// --threads=N / -tN shards the (a,b) pair grid across N workers (0 = all
+// hardware threads); every row carries a tN marker. On completed (non-TL)
+// runs the separator counts are thread-count-invariant — only time[s]
+// moves; a TL row stops at a thread-dependent point in the grid, so its
+// partial count may differ.
 
 #include <cstring>
-#include <unordered_set>
 
 #include "bench/bench_util.h"
-#include "core/min_seps.h"
-#include "entropy/pli_engine.h"
 
 namespace maimon {
 namespace bench {
 namespace {
 
-void Run(size_t row_cap, double budget) {
+void Run(size_t row_cap, double budget, int num_threads) {
   Header("Figure 14: column scalability of minimal separator mining",
          "all rows (capped), 25%..100% of columns, eps in {0, 0.01, 0.1}; "
-         "TL marks a hit budget");
+         "TL marks a hit budget; threads=" +
+             std::to_string(ResolveNumThreads(num_threads)));
   for (const char* name : {"Entity Source", "Voter State", "Census"}) {
     PlantedDataset d = LoadShaped(name, row_cap);
     std::printf("%8s | %10s | %10s %10s | %s\n", "cols", "eps", "time[s]",
@@ -35,27 +39,11 @@ void Run(size_t row_cap, double budget) {
       Relation narrowed =
           d.relation.ProjectWithDuplicates(AttrSet::Universe(ncols));
       for (double eps : {0.0, 0.01, 0.1}) {
-        PliEntropyEngine engine(narrowed);
-        InfoCalc calc(&engine);
-        Deadline deadline = Deadline::After(budget);
-        FullMvdSearch search(calc, eps, &deadline);
-        Stopwatch watch;
-        std::unordered_set<AttrSet, AttrSetHash> seps;
-        bool timed_out = false;
-        for (int a = 0; a < ncols && !timed_out; ++a) {
-          for (int b = a + 1; b < ncols; ++b) {
-            MinSepsResult result =
-                MineMinSeps(&search, narrowed.Universe(), a, b, &deadline);
-            for (AttrSet s : result.separators) seps.insert(s);
-            if (!result.status.ok()) {
-              timed_out = true;
-              break;
-            }
-          }
-        }
+        PairGridMinSeps run =
+            MineAllMinSeps(narrowed, eps, budget, num_threads);
         std::printf("%8d | %10.2f | %10.3f %10zu | %s\n", ncols, eps,
-                    watch.ElapsedSeconds(), seps.size(),
-                    timed_out ? "TL" : "");
+                    run.seconds, run.separators,
+                    ThreadMarker(run.threads_used, run.timed_out).c_str());
       }
     }
     std::printf("\n");
@@ -69,13 +57,15 @@ void Run(size_t row_cap, double budget) {
 int main(int argc, char** argv) {
   size_t row_cap = 2000;
   double budget = 5.0;
+  int num_threads = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--rows=", 7) == 0) {
       row_cap = static_cast<size_t>(std::atoll(argv[i] + 7));
     } else if (std::strncmp(argv[i], "--budget=", 9) == 0) {
       budget = std::atof(argv[i] + 9);
+    } else if (maimon::bench::ParseThreadsFlag(argv[i], &num_threads)) {
     }
   }
-  maimon::bench::Run(row_cap, budget);
+  maimon::bench::Run(row_cap, budget, num_threads);
   return 0;
 }

@@ -8,6 +8,11 @@
 // minimal separator/(A,B)-pair witnesses (Lemma 5.4: at most one full MVD
 // per key); as eps grows, full MVDs outnumber minimal separators, and the
 // generation rate reaches tens of MVDs per second.
+//
+// --threads=N / -tN shards the (a,b) pair grid across N workers (0 = all
+// hardware threads); every row carries a tN marker. On completed (non-TL)
+// runs the mined counts are thread-count-invariant — only time[s] and
+// rate move; a TL row's partial counts may differ across thread counts.
 
 #include <cstring>
 #include <unordered_set>
@@ -18,10 +23,11 @@ namespace maimon {
 namespace bench {
 namespace {
 
-void Run(size_t row_cap, double budget) {
+void Run(size_t row_cap, double budget, int num_threads) {
   Header("Figure 18: minimal separators vs full MVDs",
          "getFullMVDsOpt with K=inf per separator; budget " +
-             FormatDouble(budget, 1) + "s per (dataset, eps)");
+             FormatDouble(budget, 1) + "s per (dataset, eps); threads=" +
+             std::to_string(ResolveNumThreads(num_threads)));
   for (const char* name :
        {"Classification", "Breast-Cancer", "Adult", "Bridges"}) {
     PlantedDataset d = LoadShaped(name, row_cap);
@@ -29,7 +35,8 @@ void Run(size_t row_cap, double budget) {
                 "#fullMVDs", "time[s]", "rate[MVD/s]", "note");
     Rule(70);
     for (double eps : {0.0, 0.05, 0.1, 0.2, 0.3, 0.5}) {
-      TimedMvds mined = MineMvdsTimed(d.relation, eps, budget);
+      TimedMvds mined =
+          MineMvdsTimed(d.relation, eps, budget, SIZE_MAX, num_threads);
       const double rate =
           mined.seconds > 0
               ? static_cast<double>(mined.result.NumMvds()) / mined.seconds
@@ -37,7 +44,9 @@ void Run(size_t row_cap, double budget) {
       std::printf("%8.2f | %9zu %10zu %10.3f %12.1f | %s\n", eps,
                   mined.result.NumSeparators(), mined.result.NumMvds(),
                   mined.seconds, rate,
-                  mined.result.status.IsDeadlineExceeded() ? "TL" : "");
+                  ThreadMarker(mined.threads_used,
+                               mined.result.status.IsDeadlineExceeded())
+                      .c_str());
     }
     std::printf("\n");
   }
@@ -50,13 +59,15 @@ void Run(size_t row_cap, double budget) {
 int main(int argc, char** argv) {
   size_t row_cap = 1500;
   double budget = 4.0;
+  int num_threads = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--rows=", 7) == 0) {
       row_cap = static_cast<size_t>(std::atoll(argv[i] + 7));
     } else if (std::strncmp(argv[i], "--budget=", 9) == 0) {
       budget = std::atof(argv[i] + 9);
+    } else if (maimon::bench::ParseThreadsFlag(argv[i], &num_threads)) {
     }
   }
-  maimon::bench::Run(row_cap, budget);
+  maimon::bench::Run(row_cap, budget, num_threads);
   return 0;
 }

@@ -9,14 +9,22 @@
 #ifndef MAIMON_BENCH_BENCH_UTIL_H_
 #define MAIMON_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "core/maimon.h"
+#include "core/min_seps.h"
+#include "core/pair_grid.h"
 #include "data/metanome_shapes.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace maimon {
 namespace bench {
@@ -79,21 +87,100 @@ inline PlantedDataset LoadShaped(const std::string& name, size_t row_cap) {
 struct TimedMvds {
   MvdMinerResult result;
   double seconds = 0.0;
+  int threads_used = 1;  // actual worker count (resolved, pair-clamped)
 };
 
 inline TimedMvds MineMvdsTimed(const Relation& relation, double epsilon,
                                double budget_seconds,
-                               size_t k_per_separator = SIZE_MAX) {
+                               size_t k_per_separator = SIZE_MAX,
+                               int num_threads = 1) {
   MaimonConfig config;
   config.epsilon = epsilon;
   config.mvd_budget_seconds = budget_seconds;
   config.mvd.max_full_mvds_per_separator = k_per_separator;
+  config.num_threads = num_threads;
   Maimon maimon(relation, config);
   Stopwatch watch;
   TimedMvds out;
   out.result = maimon.MineMvds();
   out.seconds = watch.ElapsedSeconds();
+  out.threads_used = PairGridThreads(relation.NumCols(), num_threads);
   return out;
+}
+
+/// Minimal-separator mining over the whole (a,b) pair grid (the step the
+/// paper reports dominates total runtime), sharded across `num_threads`
+/// workers via the same ForEachPairSharded protocol Maimon::MineMvds runs.
+/// On completed (non-TL) runs the distinct separator count is
+/// thread-count-invariant; a TL run stops at a thread-dependent point in
+/// the grid, so its partial count may differ across thread counts.
+struct PairGridMinSeps {
+  size_t separators = 0;
+  double seconds = 0.0;
+  bool timed_out = false;
+  int threads_used = 1;  // actual worker count (resolved, pair-clamped)
+};
+
+inline PairGridMinSeps MineAllMinSeps(const Relation& relation, double eps,
+                                      double budget_seconds,
+                                      int num_threads) {
+  PliEntropyEngine engine(relation);
+  Deadline deadline = Deadline::After(budget_seconds);
+  const AttrSet universe = relation.Universe();
+  const int n = relation.NumCols();
+  std::vector<MinSepsResult> per_pair(
+      static_cast<size_t>(n) * static_cast<size_t>(n - 1) / 2);
+
+  PairGridMinSeps out;
+  Stopwatch watch;
+  const PairGridRun run = ForEachPairSharded(
+      &engine, n, num_threads, &deadline,
+      [&](const InfoCalc& calc, size_t i, int a, int b) {
+        FullMvdSearch search(calc, eps, &deadline);
+        per_pair[i] = MineMinSeps(&search, universe, a, b, &deadline);
+      });
+
+  std::unordered_set<AttrSet, AttrSetHash> seps;
+  for (const MinSepsResult& result : per_pair) {
+    for (AttrSet s : result.separators) seps.insert(s);
+    if (!result.status.ok()) out.timed_out = true;
+  }
+  if (!run.completed) out.timed_out = true;
+  out.separators = seps.size();
+  out.seconds = watch.ElapsedSeconds();
+  out.threads_used = run.threads_used;
+  return out;
+}
+
+/// Row marker for thread-scaling runs: "t4", "t4 TL" when the budget blew.
+/// Pass the worker count that actually ran (PairGridRun::threads_used or
+/// PairGridThreads), not the requested knob — a narrow grid clamps it.
+inline std::string ThreadMarker(int threads_used, bool timed_out) {
+  return "t" + std::to_string(threads_used) + (timed_out ? " TL" : "");
+}
+
+/// Shared --threads=N / -tN flag parsing for the figure harnesses.
+/// Returns true when `arg` was a *well-formed* thread flag (and sets
+/// *num_threads to its non-negative value). A malformed count ("-tx",
+/// "--threads=-2") is rejected — the caller keeps its default instead of
+/// atoi's silent 0 (= all hardware threads).
+inline bool ParseThreadsFlag(const char* arg, int* num_threads) {
+  const char* digits = nullptr;
+  if (std::strncmp(arg, "--threads=", 10) == 0) {
+    digits = arg + 10;
+  } else if (std::strncmp(arg, "-t", 2) == 0 && arg[2] != '\0') {
+    digits = arg + 2;
+  } else {
+    return false;
+  }
+  char* end = nullptr;
+  const long value = std::strtol(digits, &end, 10);
+  if (end == digits || *end != '\0' || value < 0 || value > 1 << 20) {
+    std::fprintf(stderr, "ignoring malformed thread count: %s\n", arg);
+    return false;
+  }
+  *num_threads = static_cast<int>(value);
+  return true;
 }
 
 }  // namespace bench

@@ -7,10 +7,61 @@
 #include <utility>
 #include <vector>
 
+#include "core/pair_grid.h"
 #include "scheme/assembler.h"
 #include "scheme/conflict_graph.h"
 
 namespace maimon {
+namespace {
+
+// One (a, b) pair's complete mining output, in mined order. Results are
+// indexed by pair rank, never by worker, so the merge below is
+// deterministic no matter which thread ran which pair.
+struct PairMineResult {
+  std::vector<AttrSet> separators;
+  std::vector<Mvd> mvds;
+  Status status;
+};
+
+// Mines one attribute pair: minimal separators, then full-MVD expansion
+// per separator. Pure function of (relation, config, a, b) — entropy
+// values are exact regardless of cache state, so every thread count mines
+// the same set. `calc` must be owned by the calling thread.
+PairMineResult MineOnePair(const InfoCalc& calc, const MaimonConfig& config,
+                           AttrSet universe, int a, int b, int pair_index,
+                           int num_pairs, const Deadline& global) {
+  PairMineResult out;
+  // Optional per-pair slice of the remaining global budget, so one
+  // explosive pair cannot blank every pair after it. Under the pool the
+  // slice is computed from the budget remaining when the pair is claimed —
+  // the same greedy split the sequential walk applies.
+  Deadline slice = global;
+  if (config.mvd.slice_budget_across_pairs && config.mvd_budget_seconds > 0) {
+    const int pairs_left = num_pairs - pair_index;
+    slice = Deadline::After(global.RemainingSeconds() /
+                            static_cast<double>(pairs_left));
+  }
+
+  FullMvdSearch search(calc, config.epsilon, &slice);
+  MinSepsResult seps = MineMinSeps(&search, universe, a, b, &slice);
+  if (!seps.status.ok()) out.status = seps.status;
+
+  for (AttrSet s : seps.separators) {
+    out.separators.push_back(s);
+    for (Mvd& mvd :
+         search.Find(s, universe, a, b, config.mvd.max_full_mvds_per_separator,
+                     /*optimized=*/true)) {
+      out.mvds.push_back(std::move(mvd));
+    }
+    if (slice.Expired()) {
+      out.status = Status::DeadlineExceeded("full MVD expansion");
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
 
 Maimon::Maimon(const Relation& relation, MaimonConfig config)
     : relation_(&relation),
@@ -29,46 +80,31 @@ const MvdMinerResult& Maimon::MineMvds() {
   const AttrSet universe = relation_->Universe();
   const int n = relation_->NumCols();
   const int num_pairs = n * (n - 1) / 2;
+  std::vector<PairMineResult> per_pair(static_cast<size_t>(num_pairs));
 
+  const PairGridRun run = ForEachPairSharded(
+      engine_.get(), n, config_.num_threads, &global,
+      [&](const InfoCalc& calc, size_t i, int a, int b) {
+        per_pair[i] = MineOnePair(calc, config_, universe, a, b,
+                                  static_cast<int>(i), num_pairs, global);
+      });
+  const bool completed = run.completed;
+
+  // Deterministic merge: pairs in (a, b) lexicographic rank order, dedup by
+  // first occurrence — byte-identical to the sequential walk's output.
   std::unordered_set<AttrSet, AttrSetHash> sep_set;
   std::unordered_set<Mvd, MvdHash> mvd_set;
-
-  int pair_index = 0;
-  for (int a = 0; a < n; ++a) {
-    for (int b = a + 1; b < n; ++b, ++pair_index) {
-      if (global.Expired()) {
-        result.status = Status::DeadlineExceeded("MVD mining budget");
-        return result;
-      }
-      // Optional per-pair slice of the remaining global budget, so one
-      // explosive pair cannot blank every pair after it.
-      Deadline slice = global;
-      if (config_.mvd.slice_budget_across_pairs &&
-          config_.mvd_budget_seconds > 0) {
-        const int pairs_left = num_pairs - pair_index;
-        slice = Deadline::After(global.RemainingSeconds() /
-                                static_cast<double>(pairs_left));
-      }
-
-      FullMvdSearch search(*calc_, config_.epsilon, &slice);
-      MinSepsResult seps = MineMinSeps(&search, universe, a, b, &slice);
-      if (!seps.status.ok()) result.status = seps.status;
-
-      for (AttrSet s : seps.separators) {
-        if (sep_set.insert(s).second) result.separators.push_back(s);
-        for (Mvd& mvd : search.Find(
-                 s, universe, a, b,
-                 config_.mvd.max_full_mvds_per_separator, /*optimized=*/true)) {
-          if (mvd_set.insert(mvd).second) {
-            result.mvds.push_back(std::move(mvd));
-          }
-        }
-        if (slice.Expired()) {
-          result.status = Status::DeadlineExceeded("full MVD expansion");
-          break;
-        }
-      }
+  for (PairMineResult& pr : per_pair) {
+    for (AttrSet s : pr.separators) {
+      if (sep_set.insert(s).second) result.separators.push_back(s);
     }
+    for (Mvd& mvd : pr.mvds) {
+      if (mvd_set.insert(mvd).second) result.mvds.push_back(std::move(mvd));
+    }
+    if (result.status.ok() && !pr.status.ok()) result.status = pr.status;
+  }
+  if (!completed && result.status.ok()) {
+    result.status = Status::DeadlineExceeded("MVD mining budget");
   }
   return result;
 }
@@ -79,9 +115,6 @@ AsMinerResult Maimon::MineSchemas() {
       config_.schema_budget_seconds > 0
           ? Deadline::After(config_.schema_budget_seconds)
           : Deadline::Infinite();
-  if (config_.schemas.use_legacy_walk) {
-    return MineSchemasLegacy(mined, deadline);
-  }
 
   AsMinerResult result;
   result.status = mined.status;
@@ -140,7 +173,7 @@ AsMinerResult Maimon::MineSchemas() {
           if (!seen.insert(scheme.schema.ToString()).second) return true;
           // Cap check before the push: `truncated` means a distinct scheme
           // was actually left behind, not that the count landed exactly on
-          // max_schemas (matching the legacy walk's check-before-expand).
+          // max_schemas (matching the check-before-expand convention).
           if (result.schemas.size() >= config_.schemas.max_schemas) {
             result.truncated = true;
             return false;
@@ -166,69 +199,6 @@ AsMinerResult Maimon::MineSchemas() {
   }
   if (deadline_hit) {
     result.status = Status::DeadlineExceeded("schema enumeration budget");
-  }
-  return result;
-}
-
-AsMinerResult Maimon::MineSchemasLegacy(const MvdMinerResult& mined,
-                                        const Deadline& deadline) {
-  AsMinerResult result;
-  result.status = mined.status;
-  const AttrSet universe = relation_->Universe();
-
-  struct Node {
-    Schema schema;
-    double j_measure;
-  };
-  std::vector<Node> stack;
-  std::unordered_set<std::string> seen;
-  Schema root(universe);
-  seen.insert(root.ToString());
-  stack.push_back({std::move(root), 0.0});
-
-  while (!stack.empty()) {
-    if (deadline.Expired()) {
-      result.status = Status::DeadlineExceeded("schema enumeration budget");
-      break;
-    }
-    // Stack nodes are deduped at push time, and every popped node with
-    // >= 2 relations is emitted — so a non-empty stack here means distinct
-    // schemas genuinely left behind (same semantics as the new pipeline).
-    if (result.schemas.size() >= config_.schemas.max_schemas) {
-      result.truncated = true;
-      break;
-    }
-    Node node = std::move(stack.back());
-    stack.pop_back();
-
-    bool extendable = false;
-    for (const Mvd& phi : mined.mvds) {
-      const AttrSet key = phi.key();
-      for (size_t i = 0; i < node.schema.Relations().size(); ++i) {
-        const AttrSet r = node.schema.Relations()[i];
-        if (!r.ContainsAll(key)) continue;
-        const AttrSet d1 = phi.deps()[0].Intersect(r);
-        const AttrSet d2 = phi.deps()[1].Intersect(r);
-        if (d1.Empty() || d2.Empty()) continue;
-        // MVDs project onto any relation containing the key, so this split
-        // is valid on r with cost at most the mined J (monotonicity).
-        Schema child = node.schema.Split(i, key.Union(d1), key.Union(d2));
-        if (child.NumRelations() <= node.schema.NumRelations()) continue;
-        // A split is only admissible when the flat relation set stays
-        // acyclic: a neighbor whose overlap with r straddles both parts
-        // would close a cycle, and cyclic schemes are outside ASMiner's
-        // search space (and break the join-tree evaluation).
-        if (!child.IsAcyclic()) continue;
-        extendable = true;
-        if (!seen.insert(child.ToString()).second) continue;
-        const double split_j = calc_->MvdMeasure(key, d1, d2);
-        stack.push_back({std::move(child), node.j_measure + split_j});
-      }
-    }
-    if (!extendable) ++result.independent_sets;
-    if (node.schema.NumRelations() >= 2) {
-      result.schemas.push_back({std::move(node.schema), node.j_measure});
-    }
   }
   return result;
 }

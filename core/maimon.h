@@ -11,9 +11,16 @@
 //                   each pairwise-compatible set into a join tree
 //                   (scheme/assembler.h). Emitted schemes are deduped by
 //                   canonical form; deadline expiry returns the partial
-//                   result with kDeadlineExceeded. The PR-1 recursive-split
-//                   walk survives behind SchemaMinerOptions::use_legacy_walk
-//                   for one release.
+//                   result with kDeadlineExceeded.
+//
+// MVDMiner is parallel: each (a, b) attribute pair's separator walk and
+// full-MVD expansion is independent, so the pair grid is sharded across a
+// fixed ThreadPool (MaimonConfig::num_threads; 0 = all hardware threads).
+// Every worker owns a PliEntropyEngine shard forked off the facade's
+// engine — the immutable core (relation, single-column PLIs and entropies)
+// is shared, the caches split the byte budget — and per-pair results are
+// merged in canonical pair order, so mined MVDs, the conflict graph, and
+// ranked schemes are byte-identical for any thread count.
 
 #ifndef MAIMON_CORE_MAIMON_H_
 #define MAIMON_CORE_MAIMON_H_
@@ -44,9 +51,6 @@ struct MvdMinerOptions {
 struct SchemaMinerOptions {
   /// Stop after this many distinct schemas (result.truncated is set).
   size_t max_schemas = 1000;
-  /// Escape hatch: run the PR-1 shallow recursive-split walk instead of the
-  /// conflict-graph pipeline. Kept for one release; will be removed.
-  bool use_legacy_walk = false;
   /// Also emit the scheme after every effective split along each join-tree
   /// assembly (the schemes of the independent set's prefixes), not only the
   /// full set's scheme. Matches the paper's scheme counts, which include
@@ -65,6 +69,10 @@ struct MaimonConfig {
   /// Wall-clock budgets; <= 0 means unbounded.
   double mvd_budget_seconds = 0.0;
   double schema_budget_seconds = 0.0;
+  /// Worker threads for the (a,b)-pair MVD mining grid: 1 = fully
+  /// sequential (no pool), 0 = hardware_concurrency, N = exactly N. Mined
+  /// output is byte-identical for every value; only wall clock changes.
+  int num_threads = 1;
   MvdMinerOptions mvd;
   SchemaMinerOptions schemas;
   PliEngineOptions pli;
@@ -86,11 +94,10 @@ struct MinedSchema {
 
 struct AsMinerResult {
   std::vector<MinedSchema> schemas;
-  /// Maximal independent sets of the conflict graph visited (legacy walk:
-  /// complete decomposition states, its counterpart of the same quantity).
+  /// Maximal independent sets of the conflict graph visited.
   uint64_t independent_sets = 0;
   /// Conflict-graph shape: vertices = MVDs admitted, edges = incompatible
-  /// pairs. Zero when the legacy walk ran.
+  /// pairs.
   size_t conflict_vertices = 0;
   size_t conflict_edges = 0;
   /// Mined MVDs not admitted as vertices (max_conflict_mvds cap). Non-zero
@@ -117,9 +124,6 @@ class Maimon {
   const MaimonConfig& config() const { return config_; }
 
  private:
-  AsMinerResult MineSchemasLegacy(const MvdMinerResult& mined,
-                                  const Deadline& deadline);
-
   const Relation* relation_;
   MaimonConfig config_;
   std::unique_ptr<PliEntropyEngine> engine_;

@@ -2,6 +2,7 @@
 
 #include "core/min_seps.h"
 
+#include <string>
 #include <vector>
 
 namespace maimon {
@@ -11,6 +12,14 @@ MinSepsResult MineMinSeps(FullMvdSearch* search, AttrSet universe, int a,
   MinSepsResult out;
   const std::vector<int> pool = universe.Without(a).Without(b).ToVector();
   const int m = static_cast<int>(pool.size());
+  if (m > kMaxSeparatorPoolWidth) {
+    out.status = Status::InvalidArgument(
+        "separator pool of " + std::to_string(m) +
+        " attributes exceeds the " +
+        std::to_string(kMaxSeparatorPoolWidth) +
+        "-attribute limit of the 64-bit combination walk");
+    return out;
+  }
 
   // Size-ascending walk over the candidate lattice. Entropic separation is
   // not monotone (conditioning can create dependence), so shrink-and-branch

@@ -23,9 +23,19 @@
 
 namespace maimon {
 
+/// Widest candidate pool the walk supports: combination masks live in one
+/// uint64_t, and `uint64_t{1} << m` is undefined for m >= 64. Pools wider
+/// than this are rejected with kInvalidArgument instead of silently
+/// invoking UB. (With the current 64-bit AttrSet a pool tops out at 63 —
+/// universe minus a pinned attribute — so the guard protects the day
+/// AttrSet grows wider.)
+inline constexpr int kMaxSeparatorPoolWidth = 63;
+
 struct MinSepsResult {
   std::vector<AttrSet> separators;
-  Status status;  // DeadlineExceeded when the enumeration was cut short
+  Status status;  // DeadlineExceeded when the enumeration was cut short;
+                  // InvalidArgument for pools wider than
+                  // kMaxSeparatorPoolWidth
 };
 
 /// `search` carries the entropy oracle and threshold; `deadline` (nullable)

@@ -1,0 +1,63 @@
+// Copyright (c) Maimon-cpp authors. Licensed under the MIT license.
+
+#include "core/pair_grid.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace maimon {
+
+int PairGridThreads(int num_cols, int num_threads) {
+  const int num_pairs = num_cols * (num_cols - 1) / 2;
+  return std::min(ResolveNumThreads(num_threads), std::max(num_pairs, 1));
+}
+
+PairGridRun ForEachPairSharded(
+    PliEntropyEngine* engine, int num_cols, int num_threads,
+    const Deadline* deadline,
+    const std::function<void(const InfoCalc&, size_t, int, int)>& fn) {
+  std::vector<std::pair<int, int>> pairs;
+  pairs.reserve(static_cast<size_t>(num_cols) * static_cast<size_t>(num_cols) /
+                2);
+  for (int a = 0; a < num_cols; ++a) {
+    for (int b = a + 1; b < num_cols; ++b) pairs.emplace_back(a, b);
+  }
+
+  PairGridRun run;
+  run.num_pairs = static_cast<int>(pairs.size());
+  run.threads_used = PairGridThreads(num_cols, num_threads);
+
+  if (run.threads_used <= 1) {
+    // Inline on the caller's engine: its cache stays warm for whatever
+    // single-threaded phase follows — exactly the pre-pool behavior.
+    InfoCalc calc(engine);
+    run.completed =
+        ParallelFor(nullptr, 1, pairs.size(), deadline,
+                    [&](int, size_t i) {
+                      fn(calc, i, pairs[i].first, pairs[i].second);
+                    })
+            .completed;
+    return run;
+  }
+
+  // Each shard owns a forked engine (shared immutable core, private cache
+  // slice + scratch + counters); ParallelFor guarantees one thread per
+  // shard at a time, so the workers run lock-free.
+  std::vector<EngineShard> shards = MakeEngineShards(*engine, run.threads_used);
+  ThreadPool pool(run.threads_used);
+  run.completed =
+      ParallelFor(&pool, run.threads_used, pairs.size(), deadline,
+                  [&](int shard, size_t i) {
+                    fn(*shards[static_cast<size_t>(shard)].calc, i,
+                       pairs[i].first, pairs[i].second);
+                  })
+          .completed;
+  // Fold worker counters back so aggregate ablation stats add up exactly.
+  for (const EngineShard& shard : shards) engine->MergeStats(*shard.engine);
+  return run;
+}
+
+}  // namespace maimon

@@ -1,0 +1,53 @@
+// Copyright (c) Maimon-cpp authors. Licensed under the MIT license.
+//
+// The one pair-grid sharding protocol: both Maimon::MineMvds and the
+// figure benches drive their per-(a,b)-pair work through this helper, so
+// the runtime the benches measure is exactly the runtime the library
+// ships. The contract mirrors DESIGN.md's concurrency model: workers are
+// engine shards forked off the caller's engine (shared immutable core,
+// private cache slice of the byte budget), each shard is bound to one
+// thread at a time, worker counters are merged back exactly, and the
+// sequential path (resolved thread count 1) runs inline on the caller's
+// engine so its cache stays warm for later phases.
+
+#ifndef MAIMON_CORE_PAIR_GRID_H_
+#define MAIMON_CORE_PAIR_GRID_H_
+
+#include <cstddef>
+#include <functional>
+
+#include "entropy/info_calc.h"
+#include "entropy/pli_engine.h"
+#include "util/stopwatch.h"
+
+namespace maimon {
+
+struct PairGridRun {
+  /// False when the deadline expired with pairs still unclaimed.
+  bool completed = true;
+  /// Worker count actually used (after resolving 0 = hardware threads and
+  /// clamping to the number of pairs).
+  int threads_used = 1;
+  /// Total (a,b) pairs in the grid: num_cols * (num_cols - 1) / 2.
+  int num_pairs = 0;
+};
+
+/// The worker count ForEachPairSharded will actually use for a grid over
+/// `num_cols` columns: `num_threads` resolved (0 = hardware threads) and
+/// clamped to the number of pairs. Benches report this, not the request.
+int PairGridThreads(int num_cols, int num_threads);
+
+/// Runs fn(calc, index, a, b) for every attribute pair a < b over
+/// `num_cols` columns, in index order 0..num_pairs-1 when sequential and
+/// sharded across forked engine workers otherwise. `fn` must write its
+/// output keyed by `index` (never by shard) so results merge
+/// deterministically for any thread count. `deadline` (nullable) stops
+/// further claims on expiry.
+PairGridRun ForEachPairSharded(
+    PliEntropyEngine* engine, int num_cols, int num_threads,
+    const Deadline* deadline,
+    const std::function<void(const InfoCalc&, size_t, int, int)>& fn);
+
+}  // namespace maimon
+
+#endif  // MAIMON_CORE_PAIR_GRID_H_

@@ -46,6 +46,18 @@ class PliCache {
     uint64_t value_insertions = 0;  // value-only memo entries inserted
     uint64_t evictions = 0;
     size_t bytes = 0;  // resident bytes: partitions + value-only memo entries
+
+    /// Adds `other`'s monotone counters into this one. `bytes` — a
+    /// resident gauge, not a counter — is deliberately left untouched; the
+    /// single summation site keeps multi-shard aggregation in lockstep
+    /// with the counter list above.
+    void AccumulateCounters(const Stats& other) {
+      hits += other.hits;
+      misses += other.misses;
+      insertions += other.insertions;
+      value_insertions += other.value_insertions;
+      evictions += other.evictions;
+    }
   };
 
   /// Byte charge of a value-only entropy memo entry: the Entry struct

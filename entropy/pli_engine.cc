@@ -3,15 +3,13 @@
 #include "entropy/pli_engine.h"
 
 #include <cassert>
+#include <utility>
 
 namespace maimon {
 
-PliEntropyEngine::PliEntropyEngine(const Relation& relation,
-                                   PliEngineOptions options)
-    : relation_(&relation),
-      options_(options),
-      cache_(options.cache_capacity_bytes),
-      scratch_(relation.NumRows(), -1) {
+PliSharedCore::PliSharedCore(const Relation& relation,
+                             PliEngineOptions options)
+    : relation_(&relation), options_(options) {
   if (options_.block_size < 1) options_.block_size = 1;
   singles_.reserve(static_cast<size_t>(relation.NumCols()));
   single_entropy_.reserve(static_cast<size_t>(relation.NumCols()));
@@ -22,6 +20,43 @@ PliEntropyEngine::PliEntropyEngine(const Relation& relation,
     // rather than burning evictable memo slots on it.
     single_entropy_.push_back(singles_.back().Entropy());
   }
+}
+
+PliEntropyEngine::PliEntropyEngine(const Relation& relation,
+                                   PliEngineOptions options)
+    : core_(std::make_shared<PliSharedCore>(relation, options)),
+      cache_(core_->options().cache_capacity_bytes),
+      scratch_(relation.NumRows(), -1) {}
+
+PliEntropyEngine::PliEntropyEngine(std::shared_ptr<const PliSharedCore> core,
+                                   size_t cache_capacity_bytes)
+    : core_(std::move(core)),
+      cache_(cache_capacity_bytes),
+      scratch_(core_->relation().NumRows(), -1) {}
+
+std::vector<std::unique_ptr<PliEntropyEngine>> PliEntropyEngine::ForkShards(
+    int num_shards) const {
+  if (num_shards < 1) num_shards = 1;
+  // Integer division: the shards' budgets sum to at most the configured
+  // global capacity, never above it.
+  const size_t slice =
+      core_->options().cache_capacity_bytes / static_cast<size_t>(num_shards);
+  std::vector<std::unique_ptr<PliEntropyEngine>> shards;
+  shards.reserve(static_cast<size_t>(num_shards));
+  for (int i = 0; i < num_shards; ++i) shards.push_back(Fork(slice));
+  return shards;
+}
+
+std::unique_ptr<PliEntropyEngine> PliEntropyEngine::Fork(
+    size_t cache_capacity_bytes) const {
+  return std::unique_ptr<PliEntropyEngine>(
+      new PliEntropyEngine(core_, cache_capacity_bytes));
+}
+
+void PliEntropyEngine::MergeStats(const PliEntropyEngine& worker) {
+  // AccumulateCounters skips cache.bytes: a resident gauge, not a counter —
+  // the worker's bytes are about to be freed with its cache.
+  merged_.AccumulateCounters(worker.stats());
 }
 
 AttrSet PliEntropyEngine::BestCachedSubset(AttrSet attrs) const {
@@ -38,16 +73,18 @@ AttrSet PliEntropyEngine::BestCachedSubset(AttrSet attrs) const {
 
 double PliEntropyEngine::Entropy(AttrSet attrs) {
   ++num_queries_;
-  if (attrs.Empty() || relation_->NumRows() == 0) return 0.0;
-  assert(relation_->Universe().ContainsAll(attrs));
+  const Relation& relation = core_->relation();
+  const PliEngineOptions& options = core_->options();
+  if (attrs.Empty() || relation.NumRows() == 0) return 0.0;
+  assert(relation.Universe().ContainsAll(attrs));
 
   // Single attribute: precomputed at construction, never evicted — and
   // never memoized, so probe the array before the memo hash lookup.
   if (attrs.Count() == 1) {
-    return single_entropy_[static_cast<size_t>(attrs.First())];
+    return core_->SingleEntropy(attrs.First());
   }
 
-  if (options_.cache_entropy_values) {
+  if (options.cache_entropy_values) {
     double memoized;
     if (cache_.GetEntropy(attrs, &memoized)) {
       ++value_hits_;
@@ -60,7 +97,7 @@ double PliEntropyEngine::Entropy(AttrSet attrs) {
   // intersection work follows.
   if (const StrippedPartition* exact = cache_.Get(attrs)) {
     const double h = exact->Entropy();
-    if (options_.cache_entropy_values) cache_.PutEntropy(attrs, h);
+    if (options.cache_entropy_values) cache_.PutEntropy(attrs, h);
     return h;
   }
 
@@ -74,7 +111,7 @@ double PliEntropyEngine::Entropy(AttrSet attrs) {
   } else {
     const int first = attrs.First();
     have = AttrSet::Single(first);
-    cur = &singles_[static_cast<size_t>(first)];
+    cur = &core_->Single(first);
   }
 
   // Stage 2: fold in the missing attributes one base PLI at a time, staging
@@ -82,11 +119,11 @@ double PliEntropyEngine::Entropy(AttrSet attrs) {
   // the prefix start further along.
   StrippedPartition owned;  // backing storage once `cur` is a fresh product
   for (int c : attrs.Minus(have).ToVector()) {
-    owned = cur->Intersect(singles_[static_cast<size_t>(c)], &scratch_);
+    owned = cur->Intersect(core_->Single(c), &scratch_);
     ++intersections_;
     have.Add(c);
     cur = &owned;
-    if (have.Count() <= options_.block_size && have != attrs &&
+    if (have.Count() <= options.block_size && have != attrs &&
         owned.MemoryBytes() <= cache_.capacity_bytes()) {
       // Put cannot reject (capacity pre-checked), so `owned` may be moved
       // into the cache and `cur` re-pointed at the resident copy.
@@ -98,23 +135,38 @@ double PliEntropyEngine::Entropy(AttrSet attrs) {
   const double h = cur->Entropy();
   // The full query partition is also worth staging when narrow enough:
   // MVDMiner re-queries supersets of it immediately.
-  if (attrs.Count() <= options_.block_size && cur == &owned &&
+  if (attrs.Count() <= options.block_size && cur == &owned &&
       owned.MemoryBytes() <= cache_.capacity_bytes()) {
     cache_.Put(attrs, std::move(owned));
   }
   // Memoize after the partition Put so the value attaches to the resident
   // entry for free instead of opening a value-only entry.
-  if (options_.cache_entropy_values) cache_.PutEntropy(attrs, h);
+  if (options.cache_entropy_values) cache_.PutEntropy(attrs, h);
   return h;
 }
 
 PliEntropyEngine::Stats PliEntropyEngine::stats() const {
-  Stats s;
-  s.queries = num_queries_;
-  s.value_hits = value_hits_;
-  s.intersections = intersections_;
-  s.cache = cache_.stats();
+  Stats s = merged_;
+  s.queries += num_queries_;
+  s.value_hits += value_hits_;
+  s.intersections += intersections_;
+  s.cache.AccumulateCounters(cache_.stats());
+  s.cache.bytes = cache_.stats().bytes;  // resident gauge of this shard only
   return s;
+}
+
+std::vector<EngineShard> MakeEngineShards(const PliEntropyEngine& parent,
+                                          int num_shards) {
+  std::vector<EngineShard> shards;
+  auto engines = parent.ForkShards(num_shards);
+  shards.reserve(engines.size());
+  for (auto& engine : engines) {
+    EngineShard shard;
+    shard.calc = std::make_unique<InfoCalc>(engine.get());
+    shard.engine = std::move(engine);
+    shards.push_back(std::move(shard));
+  }
+  return shards;
 }
 
 }  // namespace maimon

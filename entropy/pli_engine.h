@@ -17,6 +17,20 @@
 //      partitions stay transient — they are many and rarely re-usable,
 //      which is exactly the memory/compute trade the L knob controls.
 //
+// The engine is split along the concurrency boundary:
+//
+//   PliSharedCore    — immutable after construction: the relation view, one
+//                      StrippedPartition per column, and every single-column
+//                      entropy. Built once, read concurrently by any number
+//                      of workers with no synchronization.
+//   PliEntropyEngine — the per-worker mutable shard: a PliCache slice of
+//                      the byte budget, the intersect scratch vector, and
+//                      the query/hit counters. One engine is owned by one
+//                      thread at a time; ForkShards() splits the byte
+//                      budget across workers and MergeStats() folds worker
+//                      counters back so aggregate ablation numbers add up
+//                      exactly across any thread count.
+//
 // Counters for every layer (value hits, PLI hits/misses, evictions, bytes,
 // intersections) feed the ablation bench.
 
@@ -24,6 +38,7 @@
 #define MAIMON_ENTROPY_PLI_ENGINE_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "data/relation.h"
@@ -38,48 +53,117 @@ struct PliEngineOptions {
   /// L: partitions with at most this many attributes are cached; wider ones
   /// are computed transiently. Sec. 6.3 uses L = 10.
   int block_size = 10;
-  /// Byte budget for the partition LRU cache.
+  /// Byte budget for the partition LRU cache. Forked workers split this
+  /// budget; the shards never sum above it.
   size_t cache_capacity_bytes = size_t{64} << 20;
   /// Memoize final H(X) values in the partition cache (exact-match memo;
   /// budgeted and LRU-evicted alongside the partitions).
   bool cache_entropy_values = true;
 };
 
+/// The immutable half of the engine: everything every worker reads and no
+/// worker writes. Constructed once per relation and shared (by shared_ptr)
+/// across all engines forked from it.
+class PliSharedCore {
+ public:
+  PliSharedCore(const Relation& relation, PliEngineOptions options);
+
+  const Relation& relation() const { return *relation_; }
+  const PliEngineOptions& options() const { return options_; }
+  const StrippedPartition& Single(int c) const {
+    return singles_[static_cast<size_t>(c)];
+  }
+  double SingleEntropy(int c) const {
+    return single_entropy_[static_cast<size_t>(c)];
+  }
+
+ private:
+  const Relation* relation_;
+  PliEngineOptions options_;
+  std::vector<StrippedPartition> singles_;  // one PLI per column, built once
+  std::vector<double> single_entropy_;      // H per column, never evicted
+};
+
 class PliEntropyEngine : public EntropyEngine {
  public:
+  /// Builds the shared core and a full-budget shard on top of it.
   explicit PliEntropyEngine(const Relation& relation,
                             PliEngineOptions options = PliEngineOptions());
 
   double Entropy(AttrSet attrs) override;
-  uint64_t NumQueries() const override { return num_queries_; }
+  /// Total queries answered by this shard plus everything merged into it.
+  uint64_t NumQueries() const override { return num_queries_ + merged_.queries; }
+
+  /// Forks `num_shards` worker engines over this engine's immutable core.
+  /// Each worker gets an equal slice of this engine's *configured* cache
+  /// budget, so the workers' capacities sum to at most the global budget
+  /// (the parent's resident cache is left untouched and stays warm for the
+  /// single-threaded phases). Workers are independent: each may be handed
+  /// to a different thread.
+  std::vector<std::unique_ptr<PliEntropyEngine>> ForkShards(
+      int num_shards) const;
+  /// Single-shard fork with an explicit cache budget (bytes).
+  std::unique_ptr<PliEntropyEngine> Fork(size_t cache_capacity_bytes) const;
+
+  /// Folds a worker's counters into this engine's merged totals. Counter
+  /// fields (queries, hits, misses, insertions, evictions, intersections)
+  /// are summed exactly; the `bytes` gauge is not (the worker's resident
+  /// cache is typically about to be freed — only this engine's own resident
+  /// bytes are reported). Call once per worker, after its last query.
+  void MergeStats(const PliEntropyEngine& worker);
 
   struct Stats {
     uint64_t queries = 0;
     uint64_t value_hits = 0;     // answered from the H(X) memo
     uint64_t intersections = 0;  // partition products performed
     PliCache::Stats cache;       // partition LRU counters
+
+    /// Adds `other`'s counters into this one (cache.bytes, a resident
+    /// gauge, stays untouched).
+    void AccumulateCounters(const Stats& other) {
+      queries += other.queries;
+      value_hits += other.value_hits;
+      intersections += other.intersections;
+      cache.AccumulateCounters(other.cache);
+    }
   };
+  /// This shard's counters plus every merged worker's. `cache.bytes` is the
+  /// resident gauge of this shard's cache only.
   Stats stats() const;
 
   const PliCache& cache() const { return cache_; }
-  const Relation& relation() const { return *relation_; }
-  const PliEngineOptions& options() const { return options_; }
+  const Relation& relation() const { return core_->relation(); }
+  const PliEngineOptions& options() const { return core_->options(); }
+  const PliSharedCore& core() const { return *core_; }
 
  private:
+  /// A worker shard over an existing core with its own byte budget.
+  PliEntropyEngine(std::shared_ptr<const PliSharedCore> core,
+                   size_t cache_capacity_bytes);
+
   /// Largest cached subset of `attrs` (single columns count as cached).
   /// Returns the empty set when nothing applies.
   AttrSet BestCachedSubset(AttrSet attrs) const;
 
-  const Relation* relation_;
-  PliEngineOptions options_;
-  std::vector<StrippedPartition> singles_;  // one PLI per column, built once
-  std::vector<double> single_entropy_;      // H per column, never evicted
+  std::shared_ptr<const PliSharedCore> core_;
   PliCache cache_;  // partitions + the H(X) value memo, one byte budget
   std::vector<int32_t> scratch_;  // size NumRows, kept all -1 between calls
   uint64_t num_queries_ = 0;
   uint64_t value_hits_ = 0;
   uint64_t intersections_ = 0;
+  Stats merged_;  // counters folded in from forked workers
 };
+
+/// A worker's complete mining context: a forked engine shard plus the
+/// InfoCalc bound to it. ParallelFor callbacks index these by shard id.
+struct EngineShard {
+  std::unique_ptr<PliEntropyEngine> engine;
+  std::unique_ptr<InfoCalc> calc;
+};
+
+/// Forks `num_shards` engines off `parent` and wraps each in an InfoCalc.
+std::vector<EngineShard> MakeEngineShards(const PliEntropyEngine& parent,
+                                          int num_shards);
 
 }  // namespace maimon
 

@@ -8,13 +8,19 @@
 #   --slow   additionally register and run the `slow`-labeled figure-bench
 #            ctest entries (>= 10 s/eps budgets). The default lane excludes
 #            them so it stays fast.
+#   --tsan   additionally build <repo>/build-tsan with ThreadSanitizer and
+#            run the concurrency suite (parallel_test: pool, sharded
+#            engines, full parallel pipeline) under it. The default lane is
+#            unchanged.
 
 set -euo pipefail
 
 slow=0
+tsan=0
 for arg in "$@"; do
   case "${arg}" in
     --slow) slow=1 ;;
+    --tsan) tsan=1 ;;
     *) echo "unknown argument: ${arg}" >&2; exit 2 ;;
   esac
 done
@@ -34,6 +40,17 @@ ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}" -LE slow
 if [[ "${slow}" -eq 1 ]]; then
   echo "--- slow lane: figure benches at >= 10 s/eps budgets ---"
   ctest --test-dir "${build_dir}" --output-on-failure -L slow
+fi
+
+if [[ "${tsan}" -eq 1 ]]; then
+  echo "--- tsan lane: concurrency suites under ThreadSanitizer ---"
+  tsan_dir="${repo_root}/build-tsan"
+  # Benches and gbench are irrelevant here; keep the instrumented build
+  # small and the lane fast.
+  cmake -B "${tsan_dir}" -S "${repo_root}" -DMAIMON_TSAN=ON \
+        -DMAIMON_WITH_GBENCH=OFF
+  cmake --build "${tsan_dir}" -j "${jobs}" --target parallel_test
+  ctest --test-dir "${tsan_dir}" --output-on-failure -R '^parallel_test$'
 fi
 
 if [[ -x "${build_dir}/bench_entropy_engine" ]]; then

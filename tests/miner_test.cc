@@ -8,6 +8,7 @@
 #include <unordered_set>
 
 #include "core/maimon.h"
+#include "core/min_seps.h"
 #include "data/planted.h"
 #include "join/metrics.h"
 #include "tests/test_util.h"
@@ -129,6 +130,40 @@ TEST_CASE(MaimonMinesSchemasOnPlantedData) {
     some_schema_saves |= report.savings_pct > 0.0;
   }
   CHECK(some_schema_saves);
+}
+
+TEST_CASE(MineMinSepsSurvivesTheWidestSupportedPool) {
+  // The widest pool reachable through the 64-bit AttrSet: a 64-attribute
+  // universe with a degenerate pinned pair (a == b) leaves m = 63 free
+  // attributes, the exact boundary of the uint64 combination walk
+  // (kMaxSeparatorPoolWidth). Every shift in the walk must stay defined;
+  // the 2^63-candidate sweep itself is cut off by a short deadline. A
+  // degenerate pair never separates, so no separator may be reported.
+  std::vector<std::vector<uint32_t>> rows;
+  for (uint32_t r = 0; r < 4; ++r) {
+    rows.push_back(std::vector<uint32_t>(64, r));
+  }
+  const Relation wide = Relation::FromRows(rows, 64);
+  PliEntropyEngine engine(wide);
+  InfoCalc calc(&engine);
+  Deadline deadline = Deadline::After(0.05);
+  FullMvdSearch search(calc, 0.0, &deadline);
+  const MinSepsResult result =
+      MineMinSeps(&search, wide.Universe(), 0, 0, &deadline);
+  CHECK(result.status.IsDeadlineExceeded());
+  CHECK(result.separators.empty());
+}
+
+TEST_CASE(MineMinSepsRejectsPoolsBeyondTheComboWidth) {
+  // Pools of >= 64 attributes would shift a uint64 by its full width — UB.
+  // Such a pool is unreachable while AttrSet is a 64-bit mask (removing
+  // the pinned attributes always leaves <= 63), so the guard is exercised
+  // at its contract level: the widest representable pool must sit exactly
+  // at the supported limit, and the limit must match what the walk's
+  // masks can hold.
+  const AttrSet universe = AttrSet::Universe(64);
+  CHECK_EQ(universe.Without(0).Count(), kMaxSeparatorPoolWidth);
+  CHECK_EQ(kMaxSeparatorPoolWidth, 63);
 }
 
 TEST_CASE(BudgetExpiryReportsDeadline) {

@@ -1,0 +1,240 @@
+// Copyright (c) Maimon-cpp authors. Licensed under the MIT license.
+//
+// The concurrent mining runtime's contracts:
+//
+//   * ThreadPool/ParallelFor run every task exactly once, bind each shard
+//     to one thread at a time, and stop claiming on an expired deadline;
+//   * PliEntropyEngine::ForkShards splits the byte budget so the shards
+//     never sum above the configured global capacity, the forks answer
+//     byte-identical entropies, and MergeStats folds counters back exactly;
+//   * the Maimon pipeline is thread-count-invariant: mined full MVDs, the
+//     conflict graph, enumerated schemes, and the ranked top-k are
+//     identical at num_threads in {1, 2, 8} on planted bag-chain data.
+//
+// This suite is also the ThreadSanitizer lane's target
+// (scripts/check.sh --tsan): every cross-thread interaction of the runtime
+// is exercised here.
+
+#include <atomic>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/maimon.h"
+#include "data/planted.h"
+#include "scheme/ranker.h"
+#include "tests/test_util.h"
+#include "util/thread_pool.h"
+
+namespace maimon {
+namespace {
+
+PlantedDataset MakePlanted(int attrs, int bags, uint64_t seed,
+                           double noise = 0.0) {
+  PlantedSpec spec;
+  spec.num_attrs = attrs;
+  spec.num_bags = bags;
+  spec.root_rows = 128;
+  spec.max_rows = 512;
+  spec.noise_fraction = noise;
+  spec.domain_size = 8;
+  spec.seed = seed;
+  return GeneratePlanted(spec);
+}
+
+TEST_CASE(ParallelForRunsEveryTaskExactlyOnce) {
+  ThreadPool pool(4);
+  CHECK_EQ(pool.num_threads(), 4);
+  constexpr size_t kTasks = 257;  // not a multiple of the shard count
+  std::vector<std::atomic<int>> counts(kTasks);
+  for (auto& c : counts) c.store(0);
+  const ParallelForResult run =
+      ParallelFor(&pool, 4, kTasks, nullptr, [&](int shard, size_t i) {
+        CHECK(shard >= 0 && shard < 4);
+        counts[i].fetch_add(1);
+      });
+  CHECK(run.completed);
+  CHECK_EQ(run.tasks_run, kTasks);
+  for (auto& c : counts) CHECK_EQ(c.load(), 1);
+}
+
+TEST_CASE(ParallelForBindsEachShardToOneThreadAtATime) {
+  // Per-shard counters are written without atomics; if two threads ever
+  // ran the same shard concurrently, TSan (the --tsan lane) would flag it
+  // and the final tallies would not sum to the task count.
+  ThreadPool pool(3);
+  constexpr size_t kTasks = 300;
+  size_t per_shard[3] = {0, 0, 0};
+  const ParallelForResult run =
+      ParallelFor(&pool, 3, kTasks, nullptr,
+                  [&](int shard, size_t) { ++per_shard[shard]; });
+  CHECK(run.completed);
+  CHECK_EQ(per_shard[0] + per_shard[1] + per_shard[2], kTasks);
+}
+
+TEST_CASE(ParallelForStopsClaimingOnExpiredDeadline) {
+  ThreadPool pool(2);
+  const Deadline expired = Deadline::After(0.0);
+  std::atomic<size_t> ran{0};
+  const ParallelForResult run = ParallelFor(
+      &pool, 2, 1000, &expired, [&](int, size_t) { ran.fetch_add(1); });
+  CHECK(!run.completed);
+  CHECK_EQ(run.tasks_run, ran.load());
+  CHECK(ran.load() < 1000);  // an already-expired deadline blanks the sweep
+
+  // Inline path (single shard) honors the deadline the same way.
+  const ParallelForResult inline_run =
+      ParallelFor(nullptr, 1, 1000, &expired, [&](int, size_t) {});
+  CHECK(!inline_run.completed);
+  CHECK_EQ(inline_run.tasks_run, size_t{0});
+}
+
+TEST_CASE(ForkShardsNeverSumAboveTheGlobalCacheBudget) {
+  const PlantedDataset d = MakePlanted(6, 2, 11);
+  PliEngineOptions options;
+  options.cache_capacity_bytes = (size_t{1} << 20) + 7;  // awkward on purpose
+  PliEntropyEngine engine(d.relation, options);
+  for (int shards : {1, 2, 3, 8}) {
+    auto forks = engine.ForkShards(shards);
+    CHECK_EQ(forks.size(), static_cast<size_t>(shards));
+    size_t total = 0;
+    for (const auto& fork : forks) total += fork->cache().capacity_bytes();
+    CHECK(total <= options.cache_capacity_bytes);
+    // All forks read the same immutable core.
+    for (const auto& fork : forks) CHECK(&fork->core() == &engine.core());
+  }
+}
+
+TEST_CASE(ForkedEnginesAnswerIdenticalEntropies) {
+  const PlantedDataset d = MakePlanted(7, 2, 13, /*noise=*/0.05);
+  PliEntropyEngine engine(d.relation);
+  auto fork = engine.Fork(size_t{1} << 16);  // deliberately tiny budget
+  const AttrSet universe = d.relation.Universe();
+  for (uint64_t mask = 1; mask < 128; ++mask) {
+    const AttrSet attrs(mask);
+    if (!universe.ContainsAll(attrs)) continue;
+    // Exact equality: both run the same intersection arithmetic over the
+    // same immutable single-column partitions.
+    CHECK_EQ(engine.Entropy(attrs), fork->Entropy(attrs));
+  }
+}
+
+TEST_CASE(MergeStatsFoldsWorkerCountersExactly) {
+  const PlantedDataset d = MakePlanted(6, 2, 17);
+  PliEntropyEngine engine(d.relation);
+  auto workers = engine.ForkShards(2);
+  workers[0]->Entropy(AttrSet(0b0111));
+  workers[0]->Entropy(AttrSet(0b0111));  // memo hit on the worker
+  workers[1]->Entropy(AttrSet(0b1110));
+  const auto w0 = workers[0]->stats();
+  const auto w1 = workers[1]->stats();
+  const auto before = engine.stats();
+  engine.MergeStats(*workers[0]);
+  engine.MergeStats(*workers[1]);
+  const auto after = engine.stats();
+  CHECK_EQ(after.queries, before.queries + w0.queries + w1.queries);
+  CHECK_EQ(after.value_hits, before.value_hits + w0.value_hits + w1.value_hits);
+  CHECK_EQ(after.intersections,
+           before.intersections + w0.intersections + w1.intersections);
+  CHECK_EQ(after.cache.insertions,
+           before.cache.insertions + w0.cache.insertions + w1.cache.insertions);
+  CHECK_EQ(after.cache.hits,
+           before.cache.hits + w0.cache.hits + w1.cache.hits);
+  CHECK_EQ(after.cache.misses,
+           before.cache.misses + w0.cache.misses + w1.cache.misses);
+  // The bytes gauge still reports this engine's resident cache, not the
+  // (about to be freed) workers'.
+  CHECK_EQ(after.cache.bytes, engine.cache().stats().bytes);
+  CHECK_EQ(engine.NumQueries(), after.queries);
+}
+
+struct MiningFingerprint {
+  std::vector<AttrSet> separators;
+  std::vector<std::string> mvds;
+  size_t conflict_vertices = 0;
+  size_t conflict_edges = 0;
+  uint64_t independent_sets = 0;
+  std::vector<std::string> schemas;
+  std::vector<std::string> top_k;
+  uint64_t engine_queries = 0;
+};
+
+MiningFingerprint MineAt(const Relation& relation, int num_threads,
+                         double eps) {
+  MaimonConfig config;
+  config.epsilon = eps;
+  config.num_threads = num_threads;
+  config.schemas.max_schemas = 64;
+  Maimon maimon(relation, config);
+  const AsMinerResult schemas = maimon.MineSchemas();
+  const MvdMinerResult& mvds = maimon.MineMvds();
+  CHECK(mvds.status.ok());
+  CHECK(schemas.status.ok());
+
+  MiningFingerprint fp;
+  fp.separators = mvds.separators;
+  for (const Mvd& m : mvds.mvds) fp.mvds.push_back(m.ToString());
+  fp.conflict_vertices = schemas.conflict_vertices;
+  fp.conflict_edges = schemas.conflict_edges;
+  fp.independent_sets = schemas.independent_sets;
+  for (const MinedSchema& s : schemas.schemas) {
+    fp.schemas.push_back(s.schema.ToString());
+  }
+  RankerOptions rank;
+  rank.top_k = 5;
+  rank.primary = RankKey::kSavings;
+  const RankResult ranked =
+      RankSchemes(relation, schemas.schemas, maimon.oracle(), rank);
+  CHECK(ranked.status.ok());
+  for (const RankedScheme& s : ranked.ranked) {
+    fp.top_k.push_back(s.schema.ToString());
+  }
+  fp.engine_queries = maimon.engine().NumQueries();
+  return fp;
+}
+
+TEST_CASE(MiningIsThreadCountInvariant) {
+  // The determinism contract of the whole pipeline: every downstream
+  // artifact — mined full MVDs (content AND order), the conflict graph,
+  // the enumerated schemes, the ranked top-k — is identical whichever
+  // thread count mined it. The planted bag-chain generator gives a
+  // relation with rich real structure (multiple separators per chain).
+  for (uint64_t seed : {3u, 21u}) {
+    const PlantedDataset d = MakePlanted(8, 3, seed, /*noise=*/0.02);
+    const MiningFingerprint base = MineAt(d.relation, 1, 0.05);
+    CHECK(!base.mvds.empty());
+    CHECK(!base.schemas.empty());
+    for (int threads : {2, 8}) {
+      const MiningFingerprint fp = MineAt(d.relation, threads, 0.05);
+      CHECK_EQ(fp.separators, base.separators);
+      CHECK_EQ(fp.mvds, base.mvds);
+      CHECK_EQ(fp.conflict_vertices, base.conflict_vertices);
+      CHECK_EQ(fp.conflict_edges, base.conflict_edges);
+      CHECK_EQ(fp.independent_sets, base.independent_sets);
+      CHECK_EQ(fp.schemas, base.schemas);
+      CHECK_EQ(fp.top_k, base.top_k);
+      // The per-pair query streams are deterministic, so after MergeStats
+      // the aggregate query counter adds up to the sequential run's —
+      // exactly, not approximately.
+      CHECK_EQ(fp.engine_queries, base.engine_queries);
+    }
+  }
+}
+
+TEST_CASE(ParallelMiningHonorsTheGlobalBudget) {
+  // A wide noisy relation with a near-zero budget must come back quickly
+  // with DeadlineExceeded through the pool path too.
+  const PlantedDataset d = MakePlanted(12, 3, 33, /*noise=*/0.1);
+  MaimonConfig config;
+  config.epsilon = 0.1;
+  config.mvd_budget_seconds = 1e-4;
+  config.num_threads = 4;
+  Maimon maimon(d.relation, config);
+  const MvdMinerResult result = maimon.MineMvds();
+  CHECK(result.status.IsDeadlineExceeded());
+}
+
+}  // namespace
+}  // namespace maimon
+
+TEST_MAIN()

@@ -248,25 +248,6 @@ TEST_CASE(ConflictMvdCapIsReportedNotSilent) {
   CHECK_EQ(result.mvds_dropped, size_t{3});
 }
 
-TEST_CASE(LegacyWalkEscapeHatchStillMines) {
-  const Relation r = HubFixture();
-  MaimonConfig config;
-  config.epsilon = 0.0;
-  config.schemas.use_legacy_walk = true;
-  Maimon maimon(r, config);
-  const AsMinerResult result = maimon.MineSchemas();
-  CHECK(result.status.ok());
-  CHECK(!result.schemas.empty());
-  CHECK_EQ(result.conflict_vertices, size_t{0});  // no graph was built
-  std::unordered_set<std::string> seen;
-  for (const MinedSchema& s : result.schemas) {
-    CHECK(s.schema.IsAcyclic());
-    CHECK(seen.insert(s.schema.ToString()).second);
-  }
-  // The legacy walk reaches the fully split schema too.
-  CHECK(seen.count("[AE][BE][CE][DE]") == 1);
-}
-
 TEST_CASE(RankerOrdersByQualityAndHonorsBudget) {
   const Relation r = HubFixture();
   MaimonConfig config;

@@ -1,0 +1,111 @@
+// Copyright (c) Maimon-cpp authors. Licensed under the MIT license.
+
+#include "util/thread_pool.h"
+
+#include <atomic>
+
+namespace maimon {
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads < 1) num_threads = 1;
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      // Drain the queue even while stopping: pending shard runners hold
+      // completion latches that waiters depend on.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+int ResolveNumThreads(int num_threads) {
+  if (num_threads > 0) return num_threads;
+  if (num_threads < 0) return 1;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+ParallelForResult ParallelFor(ThreadPool* pool, int num_shards,
+                              size_t num_tasks, const Deadline* deadline,
+                              const std::function<void(int, size_t)>& fn) {
+  ParallelForResult result;
+  if (num_tasks == 0) return result;
+
+  if (pool == nullptr || num_shards <= 1) {
+    for (size_t i = 0; i < num_tasks; ++i) {
+      if (DeadlineExpired(deadline)) {
+        result.completed = false;
+        return result;
+      }
+      fn(0, i);
+      ++result.tasks_run;
+    }
+    return result;
+  }
+
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> ran{0};
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  int shards_left = num_shards;
+
+  for (int shard = 0; shard < num_shards; ++shard) {
+    pool->Submit([&, shard] {
+      for (;;) {
+        if (DeadlineExpired(deadline)) break;
+        const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= num_tasks) break;
+        fn(shard, i);
+        ran.fetch_add(1, std::memory_order_relaxed);
+      }
+      {
+        // Notify under the lock: the waiter below destroys done_cv as soon
+        // as its wait returns, and wait can only return after this unlock —
+        // so the notify is always sequenced before the destruction.
+        std::lock_guard<std::mutex> lock(done_mu);
+        --shards_left;
+        done_cv.notify_one();
+      }
+    });
+  }
+  {
+    std::unique_lock<std::mutex> lock(done_mu);
+    done_cv.wait(lock, [&] { return shards_left == 0; });
+  }
+  result.tasks_run = ran.load(std::memory_order_relaxed);
+  // A shard that saw the deadline may race one that claimed the final
+  // index: the sweep only counts as cut short if work was actually left.
+  result.completed = result.tasks_run == num_tasks;
+  return result;
+}
+
+}  // namespace maimon

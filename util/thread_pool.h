@@ -1,0 +1,90 @@
+// Copyright (c) Maimon-cpp authors. Licensed under the MIT license.
+//
+// ThreadPool: a fixed set of worker threads draining one task queue — no
+// work stealing, no dynamic resizing. The mining runtime's unit of work
+// (one (a,b) attribute pair) is coarse enough that a plain shared queue
+// never becomes the bottleneck, and a fixed pool keeps the concurrency
+// model auditable: exactly `num_threads` OS threads exist for the pool's
+// lifetime, each task runs on exactly one of them.
+//
+// ParallelFor is the sharded executor the miner drives: `num_shards`
+// long-lived shard runners are submitted to the pool, and each claims task
+// indices from a shared atomic counter. The shard index is handed to the
+// callback so callers can bind per-shard mutable state (a forked entropy
+// engine, a scratch buffer) that is then touched by exactly one thread —
+// shared-immutable vs. per-worker-mutable is enforced by construction, not
+// by locks. A Deadline pointer propagates into the claim loop: on expiry
+// shards stop claiming new tasks (tasks already claimed finish; they poll
+// the same deadline internally), and the caller learns the sweep was cut
+// short from ParallelForResult::completed.
+
+#ifndef MAIMON_UTIL_THREAD_POOL_H_
+#define MAIMON_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/stopwatch.h"
+
+namespace maimon {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to >= 1). The pool is fixed for
+  /// its lifetime; the destructor drains the queue and joins every worker.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a task. Tasks must not throw (the library is exception-free);
+  /// submitting after destruction begins is a caller error.
+  void Submit(std::function<void()> task);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Resolves a user-facing thread-count knob: 0 means "all hardware
+/// threads" (hardware_concurrency, itself clamped to >= 1), negative
+/// values clamp to 1, anything positive is taken as given.
+int ResolveNumThreads(int num_threads);
+
+struct ParallelForResult {
+  /// True iff every task index was claimed and executed; false when the
+  /// deadline expired first and a suffix of tasks was never started.
+  bool completed = true;
+  /// Tasks actually executed (== num_tasks when completed).
+  size_t tasks_run = 0;
+};
+
+/// Runs fn(shard, index) for every index in [0, num_tasks), sharding the
+/// index stream across `num_shards` runners on `pool`. Each shard value in
+/// [0, num_shards) is live on exactly one thread at a time, so fn may
+/// freely mutate shard-indexed state without locking. Indices are claimed
+/// dynamically in ascending order (deterministic work *assignment* is not
+/// guaranteed — callers that need deterministic output index their results
+/// by task, not by shard). `deadline` (nullable) stops further claims on
+/// expiry. With a null pool or a single shard the loop runs inline on the
+/// calling thread — byte-for-byte the sequential execution order.
+ParallelForResult ParallelFor(ThreadPool* pool, int num_shards,
+                              size_t num_tasks, const Deadline* deadline,
+                              const std::function<void(int, size_t)>& fn);
+
+}  // namespace maimon
+
+#endif  // MAIMON_UTIL_THREAD_POOL_H_
