@@ -21,26 +21,26 @@ namespace maimon {
 namespace bench {
 namespace {
 
-void Run(size_t row_cap, double budget, int num_threads) {
-  Header("Figure 13: row scalability of minimal separator mining",
-         "10%..100% of rows, all columns, eps in {0, 0.01, 0.1}; threads=" +
-             std::to_string(ResolveNumThreads(num_threads)));
+void Run(const MinSepsHarnessFlags& flags) {
+  if (!flags.json) {
+    Header("Figure 13: row scalability of minimal separator mining",
+           "10%..100% of rows, all columns, eps in {0, 0.01, 0.1}; threads=" +
+               std::to_string(ResolveNumThreads(flags.num_threads)) +
+               ", walk=" + WalkMarker(flags.options));
+  }
   for (const char* name : {"Image", "Four Square (Spots)", "Ditag Feature"}) {
-    PlantedDataset d = LoadShaped(name, row_cap);
-    std::printf("%8s | %10s | %10s %10s | %s\n", "rows", "eps", "time[s]",
-                "#minseps", "note");
-    Rule(60);
+    PlantedDataset d = LoadShaped(name, flags.row_cap, /*quiet=*/flags.json);
+    if (!flags.json) PrintMinSepsRowHeader("rows");
     for (double frac : {0.1, 0.25, 0.5, 0.75, 1.0}) {
       Relation sample = d.relation.SampleRows(frac, /*seed=*/7);
       for (double eps : {0.0, 0.01, 0.1}) {
-        PairGridMinSeps run =
-            MineAllMinSeps(sample, eps, budget, num_threads);
-        std::printf("%8zu | %10.2f | %10.3f %10zu | %s\n", sample.NumRows(),
-                    eps, run.seconds, run.separators,
-                    ThreadMarker(run.threads_used, run.timed_out).c_str());
+        PairGridMinSeps run = MineAllMinSeps(sample, eps, flags.budget,
+                                             flags.num_threads, flags.options);
+        PrintMinSepsRow(13, name, "rows", sample.NumRows(), eps, run,
+                        flags.options, flags.json);
       }
     }
-    std::printf("\n");
+    if (!flags.json) std::printf("\n");
   }
 }
 
@@ -49,17 +49,7 @@ void Run(size_t row_cap, double budget, int num_threads) {
 }  // namespace maimon
 
 int main(int argc, char** argv) {
-  size_t row_cap = 4000;
-  double budget = 5.0;
-  int num_threads = 1;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--rows=", 7) == 0) {
-      row_cap = static_cast<size_t>(std::atoll(argv[i] + 7));
-    } else if (std::strncmp(argv[i], "--budget=", 9) == 0) {
-      budget = std::atof(argv[i] + 9);
-    } else if (maimon::bench::ParseThreadsFlag(argv[i], &num_threads)) {
-    }
-  }
-  maimon::bench::Run(row_cap, budget, num_threads);
+  maimon::bench::Run(maimon::bench::ParseMinSepsHarnessFlags(
+      argc, argv, /*default_row_cap=*/4000));
   return 0;
 }

@@ -23,30 +23,30 @@ namespace maimon {
 namespace bench {
 namespace {
 
-void Run(size_t row_cap, double budget, int num_threads) {
-  Header("Figure 14: column scalability of minimal separator mining",
-         "all rows (capped), 25%..100% of columns, eps in {0, 0.01, 0.1}; "
-         "TL marks a hit budget; threads=" +
-             std::to_string(ResolveNumThreads(num_threads)));
+void Run(const MinSepsHarnessFlags& flags) {
+  if (!flags.json) {
+    Header("Figure 14: column scalability of minimal separator mining",
+           "all rows (capped), 25%..100% of columns, eps in {0, 0.01, 0.1}; "
+           "TL marks a hit budget; threads=" +
+               std::to_string(ResolveNumThreads(flags.num_threads)) +
+               ", walk=" + WalkMarker(flags.options));
+  }
   for (const char* name : {"Entity Source", "Voter State", "Census"}) {
-    PlantedDataset d = LoadShaped(name, row_cap);
-    std::printf("%8s | %10s | %10s %10s | %s\n", "cols", "eps", "time[s]",
-                "#minseps", "note");
-    Rule(60);
+    PlantedDataset d = LoadShaped(name, flags.row_cap, /*quiet=*/flags.json);
+    if (!flags.json) PrintMinSepsRowHeader("cols");
     const int total_cols = d.relation.NumCols();
     for (double frac : {0.25, 0.5, 0.75, 1.0}) {
       const int ncols = std::max(3, static_cast<int>(total_cols * frac));
       Relation narrowed =
           d.relation.ProjectWithDuplicates(AttrSet::Universe(ncols));
       for (double eps : {0.0, 0.01, 0.1}) {
-        PairGridMinSeps run =
-            MineAllMinSeps(narrowed, eps, budget, num_threads);
-        std::printf("%8d | %10.2f | %10.3f %10zu | %s\n", ncols, eps,
-                    run.seconds, run.separators,
-                    ThreadMarker(run.threads_used, run.timed_out).c_str());
+        PairGridMinSeps run = MineAllMinSeps(narrowed, eps, flags.budget,
+                                             flags.num_threads, flags.options);
+        PrintMinSepsRow(14, name, "cols", static_cast<size_t>(ncols), eps,
+                        run, flags.options, flags.json);
       }
     }
-    std::printf("\n");
+    if (!flags.json) std::printf("\n");
   }
 }
 
@@ -55,17 +55,7 @@ void Run(size_t row_cap, double budget, int num_threads) {
 }  // namespace maimon
 
 int main(int argc, char** argv) {
-  size_t row_cap = 2000;
-  double budget = 5.0;
-  int num_threads = 1;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--rows=", 7) == 0) {
-      row_cap = static_cast<size_t>(std::atoll(argv[i] + 7));
-    } else if (std::strncmp(argv[i], "--budget=", 9) == 0) {
-      budget = std::atof(argv[i] + 9);
-    } else if (maimon::bench::ParseThreadsFlag(argv[i], &num_threads)) {
-    }
-  }
-  maimon::bench::Run(row_cap, budget, num_threads);
+  maimon::bench::Run(maimon::bench::ParseMinSepsHarnessFlags(
+      argc, argv, /*default_row_cap=*/2000));
   return 0;
 }

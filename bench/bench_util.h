@@ -62,8 +62,10 @@ inline void Header(const std::string& experiment, const std::string& note) {
 }
 
 /// Generates a scaled dataset for a Table 2 shape, capping the row count so
-/// the whole harness suite stays laptop-friendly. Prints the scale used.
-inline PlantedDataset LoadShaped(const std::string& name, size_t row_cap) {
+/// the whole harness suite stays laptop-friendly. Prints the scale used
+/// unless `quiet` (the JSON row mode keeps stdout pure JSONL).
+inline PlantedDataset LoadShaped(const std::string& name, size_t row_cap,
+                                 bool quiet = false) {
   auto shape = FindShape(name);
   if (!shape.ok()) {
     std::fprintf(stderr, "unknown dataset %s\n", name.c_str());
@@ -75,10 +77,12 @@ inline PlantedDataset LoadShaped(const std::string& name, size_t row_cap) {
             static_cast<double>(shape->paper_rows);
   }
   PlantedDataset d = GenerateShaped(*shape, scale);
-  std::printf("[data] %-22s cols=%-3d paper_rows=%-8zu scaled_rows=%zu "
-              "(scale %.4f)\n",
-              shape->name.c_str(), shape->columns, shape->paper_rows,
-              d.relation.NumRows(), scale);
+  if (!quiet) {
+    std::printf("[data] %-22s cols=%-3d paper_rows=%-8zu scaled_rows=%zu "
+                "(scale %.4f)\n",
+                shape->name.c_str(), shape->columns, shape->paper_rows,
+                d.relation.NumRows(), scale);
+  }
   return d;
 }
 
@@ -119,11 +123,17 @@ struct PairGridMinSeps {
   double seconds = 0.0;
   bool timed_out = false;
   int threads_used = 1;  // actual worker count (resolved, pair-clamped)
+  /// Walk accounting summed over every pair: seeds / expansions / oracle
+  /// verification calls (MinSepsStats), plus total entropy-engine queries
+  /// (shard counters folded back) — the honest cost metric the walk-mode
+  /// comparison in EXPERIMENTS.md reports.
+  MinSepsStats stats;
+  uint64_t entropy_queries = 0;
 };
 
-inline PairGridMinSeps MineAllMinSeps(const Relation& relation, double eps,
-                                      double budget_seconds,
-                                      int num_threads) {
+inline PairGridMinSeps MineAllMinSeps(
+    const Relation& relation, double eps, double budget_seconds,
+    int num_threads, const MinSepsOptions& options = MinSepsOptions()) {
   PliEntropyEngine engine(relation);
   Deadline deadline = Deadline::After(budget_seconds);
   const AttrSet universe = relation.Universe();
@@ -137,18 +147,20 @@ inline PairGridMinSeps MineAllMinSeps(const Relation& relation, double eps,
       &engine, n, num_threads, &deadline,
       [&](const InfoCalc& calc, size_t i, int a, int b) {
         FullMvdSearch search(calc, eps, &deadline);
-        per_pair[i] = MineMinSeps(&search, universe, a, b, &deadline);
+        per_pair[i] = MineMinSeps(&search, universe, a, b, &deadline, options);
       });
 
   std::unordered_set<AttrSet, AttrSetHash> seps;
   for (const MinSepsResult& result : per_pair) {
     for (AttrSet s : result.separators) seps.insert(s);
+    out.stats.Accumulate(result.stats);
     if (!result.status.ok()) out.timed_out = true;
   }
   if (!run.completed) out.timed_out = true;
   out.separators = seps.size();
   out.seconds = watch.ElapsedSeconds();
   out.threads_used = run.threads_used;
+  out.entropy_queries = engine.NumQueries();
   return out;
 }
 
@@ -157,6 +169,62 @@ inline PairGridMinSeps MineAllMinSeps(const Relation& relation, double eps,
 /// PairGridThreads), not the requested knob — a narrow grid clamps it.
 inline std::string ThreadMarker(int threads_used, bool timed_out) {
   return "t" + std::to_string(threads_used) + (timed_out ? " TL" : "");
+}
+
+/// Row marker for the separator-walk mode: the close-separator walk is the
+/// default; "exh" marks the exhaustive lattice-sweep oracle
+/// (MinSepsOptions::exhaustive).
+inline const char* WalkMarker(const MinSepsOptions& options) {
+  return options.exhaustive ? "exh" : "close";
+}
+
+/// One machine-readable minimal-separator row (JSONL, one object per line)
+/// for the CI bench-smoke artifact: the same fields the table row prints,
+/// plus the tN/TL marker and walk mode, so the per-PR perf trajectory can
+/// be diffed mechanically.
+inline void PrintMinSepsJsonRow(int fig, const std::string& dataset,
+                                const char* axis, size_t axis_value,
+                                double eps, const PairGridMinSeps& run,
+                                const MinSepsOptions& options) {
+  std::printf(
+      "{\"fig\":%d,\"dataset\":\"%s\",\"%s\":%zu,\"eps\":%.2f,"
+      "\"seconds\":%.3f,\"minseps\":%zu,\"oracle_calls\":%llu,"
+      "\"seeds\":%llu,\"expansions\":%llu,\"entropy_queries\":%llu,"
+      "\"threads\":%d,\"timed_out\":%s,\"walk\":\"%s\",\"marker\":\"%s\"}\n",
+      fig, dataset.c_str(), axis, axis_value, eps, run.seconds,
+      run.separators,
+      static_cast<unsigned long long>(run.stats.oracle_calls),
+      static_cast<unsigned long long>(run.stats.seeds),
+      static_cast<unsigned long long>(run.stats.expansions),
+      static_cast<unsigned long long>(run.entropy_queries), run.threads_used,
+      run.timed_out ? "true" : "false", WalkMarker(options),
+      ThreadMarker(run.threads_used, run.timed_out).c_str());
+  std::fflush(stdout);
+}
+
+/// Shared per-row emission for the fig13/fig14 separator harnesses: the
+/// human table row and the JSONL artifact row print the same fields from
+/// one place, so the two harnesses cannot fork the row schema.
+inline void PrintMinSepsRow(int fig, const std::string& dataset,
+                            const char* axis, size_t axis_value, double eps,
+                            const PairGridMinSeps& run,
+                            const MinSepsOptions& options, bool json) {
+  if (json) {
+    PrintMinSepsJsonRow(fig, dataset, axis, axis_value, eps, run, options);
+    return;
+  }
+  std::printf("%8zu | %10.2f | %10.3f %10zu %10llu | %s %s\n", axis_value,
+              eps, run.seconds, run.separators,
+              static_cast<unsigned long long>(run.stats.oracle_calls),
+              ThreadMarker(run.threads_used, run.timed_out).c_str(),
+              WalkMarker(options));
+}
+
+/// Matching table header for PrintMinSepsRow.
+inline void PrintMinSepsRowHeader(const char* axis) {
+  std::printf("%8s | %10s | %10s %10s %10s | %s\n", axis, "eps", "time[s]",
+              "#minseps", "#oracle", "note");
+  Rule(64);
 }
 
 /// Shared --threads=N / -tN flag parsing for the figure harnesses.
@@ -181,6 +249,41 @@ inline bool ParseThreadsFlag(const char* arg, int* num_threads) {
   }
   *num_threads = static_cast<int>(value);
   return true;
+}
+
+/// Shared knob set + argv parsing for the separator harnesses: --rows=N,
+/// --budget=S, --exhaustive (lattice-sweep oracle), --json (JSONL rows),
+/// and --threads=N / -tN. Unknown arguments are rejected (exit 2) — the
+/// mode flags change what gets measured, so a typo must not silently
+/// record the wrong mode's numbers.
+struct MinSepsHarnessFlags {
+  size_t row_cap = 0;
+  double budget = 5.0;
+  int num_threads = 1;
+  bool json = false;
+  MinSepsOptions options;
+};
+
+inline MinSepsHarnessFlags ParseMinSepsHarnessFlags(int argc, char** argv,
+                                                    size_t default_row_cap) {
+  MinSepsHarnessFlags flags;
+  flags.row_cap = default_row_cap;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--rows=", 7) == 0) {
+      flags.row_cap = static_cast<size_t>(std::atoll(argv[i] + 7));
+    } else if (std::strncmp(argv[i], "--budget=", 9) == 0) {
+      flags.budget = std::atof(argv[i] + 9);
+    } else if (std::strcmp(argv[i], "--exhaustive") == 0) {
+      flags.options.exhaustive = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      flags.json = true;
+    } else if (ParseThreadsFlag(argv[i], &flags.num_threads)) {
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      std::exit(2);
+    }
+  }
+  return flags;
 }
 
 }  // namespace bench

@@ -3,6 +3,7 @@
 #include "core/full_mvd.h"
 
 #include <numeric>
+#include <utility>
 
 namespace maimon {
 namespace {
@@ -50,6 +51,77 @@ void FullMvdSearch::Dfs(const std::vector<AttrSet>& items, size_t next,
   }
 }
 
+FullMvdSearch::SideAgreement FullMvdSearch::AgreementClusters(AttrSet key,
+                                                              AttrSet universe,
+                                                              int a, int b) {
+  // Contract to pairwise-consistent super-attributes. Soundness rests on
+  // monotonicity of I: if I(x;y|key) > eps then any split placing x and y
+  // on opposite sides has J > eps, so x and y may be glued; if
+  // I(x;a|key) > eps then x can never sit opposite a, so x joins a's side.
+  SideAgreement out;
+  out.a_side = AttrSet::Single(a);
+  out.b_side = AttrSet::Single(b);
+  if (a == b || key.Contains(a) || key.Contains(b) || !universe.Contains(a) ||
+      !universe.Contains(b)) {
+    out.feasible = false;
+    return out;
+  }
+  const AttrSet rest = universe.Minus(key).Without(a).Without(b);
+  UnionFind uf(AttrSet::kMaxAttrs);
+  for (int x : rest.ToVector()) {
+    if (DeadlineExpired(deadline_)) {
+      out.deadline_hit = true;
+      return out;
+    }
+    // I(x;b|key) > eps means x can never sit opposite b, so x is forced
+    // onto b's side; symmetrically for a. Forced onto both: infeasible.
+    const bool must_join_b =
+        MeasureJ(AttrSet::Single(x), AttrSet::Single(b), key) >
+        epsilon_ + kJTolerance;
+    const bool must_join_a =
+        MeasureJ(AttrSet::Single(x), AttrSet::Single(a), key) >
+        epsilon_ + kJTolerance;
+    if (must_join_a && must_join_b) {
+      out.feasible = false;
+      return out;
+    }
+    if (must_join_a) uf.Union(x, a);
+    if (must_join_b) uf.Union(x, b);
+  }
+  const std::vector<int> free_attrs = rest.ToVector();
+  for (size_t i = 0; i < free_attrs.size(); ++i) {
+    for (size_t j = i + 1; j < free_attrs.size(); ++j) {
+      if (DeadlineExpired(deadline_)) {
+        out.deadline_hit = true;
+        return out;
+      }
+      if (uf.Find(free_attrs[i]) == uf.Find(free_attrs[j])) continue;
+      if (MeasureJ(AttrSet::Single(free_attrs[i]),
+                   AttrSet::Single(free_attrs[j]), key) >
+          epsilon_ + kJTolerance) {
+        uf.Union(free_attrs[i], free_attrs[j]);
+      }
+    }
+  }
+  if (uf.Find(a) == uf.Find(b)) {  // forced together: no MVD can exist
+    out.feasible = false;
+    return out;
+  }
+  // Gather clusters: the a- and b-rooted ones seed the sides, the rest
+  // stay free to pick a side.
+  std::vector<AttrSet> clusters(AttrSet::kMaxAttrs);
+  for (int x : rest.ToVector()) clusters[static_cast<size_t>(uf.Find(x))].Add(x);
+  out.a_side = out.a_side.Union(clusters[static_cast<size_t>(uf.Find(a))]);
+  out.b_side = out.b_side.Union(clusters[static_cast<size_t>(uf.Find(b))]);
+  for (int root = 0; root < AttrSet::kMaxAttrs; ++root) {
+    if (root == uf.Find(a) || root == uf.Find(b)) continue;
+    if (clusters[static_cast<size_t>(root)].Any()) {
+      out.free_clusters.push_back(clusters[static_cast<size_t>(root)]);
+    }
+  }
+  return out;
+}
+
 std::vector<Mvd> FullMvdSearch::Find(AttrSet key, AttrSet universe, int a,
                                      int b, size_t max_results,
                                      bool optimized) {
@@ -64,52 +136,11 @@ std::vector<Mvd> FullMvdSearch::Find(AttrSet key, AttrSet universe, int a,
   std::vector<AttrSet> items;
 
   if (optimized) {
-    // Contract to pairwise-consistent super-attributes. Soundness rests on
-    // monotonicity of I: if I(x;y|key) > eps then any split placing x and y
-    // on opposite sides has J > eps, so x and y may be glued; if
-    // I(x;a|key) > eps then x can never sit opposite a, so x joins a's side.
-    UnionFind uf(AttrSet::kMaxAttrs);
-    for (int x : rest.ToVector()) {
-      if (DeadlineExpired(deadline_)) return out;
-      // I(x;b|key) > eps means x can never sit opposite b, so x is forced
-      // onto b's side; symmetrically for a. Forced onto both: infeasible.
-      const bool must_join_b =
-          MeasureJ(AttrSet::Single(x), AttrSet::Single(b), key) >
-          epsilon_ + kJTolerance;
-      const bool must_join_a =
-          MeasureJ(AttrSet::Single(x), AttrSet::Single(a), key) >
-          epsilon_ + kJTolerance;
-      if (must_join_a && must_join_b) return out;
-      if (must_join_a) uf.Union(x, a);
-      if (must_join_b) uf.Union(x, b);
-    }
-    const std::vector<int> free_attrs = rest.ToVector();
-    for (size_t i = 0; i < free_attrs.size(); ++i) {
-      for (size_t j = i + 1; j < free_attrs.size(); ++j) {
-        if (DeadlineExpired(deadline_)) return out;
-        if (uf.Find(free_attrs[i]) == uf.Find(free_attrs[j])) continue;
-        if (MeasureJ(AttrSet::Single(free_attrs[i]),
-                     AttrSet::Single(free_attrs[j]), key) >
-            epsilon_ + kJTolerance) {
-          uf.Union(free_attrs[i], free_attrs[j]);
-        }
-      }
-    }
-    if (uf.Find(a) == uf.Find(b)) return out;  // forced together: no MVD
-    // Gather clusters: the a- and b-rooted ones seed the sides, the rest
-    // become search items.
-    std::vector<AttrSet> clusters(AttrSet::kMaxAttrs);
-    for (int x : rest.ToVector()) clusters[static_cast<size_t>(uf.Find(x))].Add(x);
-    seed1 = seed1.Union(clusters[static_cast<size_t>(uf.Find(a))]);
-    seed2 = seed2.Union(clusters[static_cast<size_t>(uf.Find(b))]);
-    seed1.Add(a);
-    seed2.Add(b);
-    for (int root = 0; root < AttrSet::kMaxAttrs; ++root) {
-      if (root == uf.Find(a) || root == uf.Find(b)) continue;
-      if (clusters[static_cast<size_t>(root)].Any()) {
-        items.push_back(clusters[static_cast<size_t>(root)]);
-      }
-    }
+    const SideAgreement agreement = AgreementClusters(key, universe, a, b);
+    if (!agreement.feasible || agreement.deadline_hit) return out;
+    seed1 = agreement.a_side;
+    seed2 = agreement.b_side;
+    items = agreement.free_clusters;
   } else {
     for (int x : rest.ToVector()) items.push_back(AttrSet::Single(x));
   }
@@ -122,8 +153,16 @@ std::vector<Mvd> FullMvdSearch::Find(AttrSet key, AttrSet universe, int a,
 }
 
 bool FullMvdSearch::Separates(AttrSet key, AttrSet universe, int a, int b) {
-  return !Find(key, universe, a, b, /*max_results=*/1, /*optimized=*/true)
-              .empty();
+  return FindWitness(key, universe, a, b, nullptr);
+}
+
+bool FullMvdSearch::FindWitness(AttrSet key, AttrSet universe, int a, int b,
+                                Mvd* witness) {
+  std::vector<Mvd> found =
+      Find(key, universe, a, b, /*max_results=*/1, /*optimized=*/true);
+  if (found.empty()) return false;
+  if (witness != nullptr) *witness = std::move(found.front());
+  return true;
 }
 
 }  // namespace maimon

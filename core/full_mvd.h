@@ -45,6 +45,22 @@ class FullMvdSearch {
   FullMvdSearch(const InfoCalc& calc, double epsilon, const Deadline* deadline)
       : calc_(&calc), epsilon_(epsilon), deadline_(deadline) {}
 
+  /// The contraction ("agreement") structure of one (key, a, b) query: the
+  /// pairwise-consistent super-attributes getFullMVDsOpt searches over.
+  /// Exposed as the oracle-level component view of a candidate key —
+  /// `a_side`/`b_side` are the clusters glued to the pinned attributes,
+  /// `free_clusters` the contracted items still free to pick a side of
+  /// the split; an infeasible agreement refutes separation before any
+  /// side-assignment search runs. Differential tests pin its verdicts
+  /// against Separates.
+  struct SideAgreement {
+    bool feasible = true;       // false when a and b are forced together
+    bool deadline_hit = false;  // contraction cut short; clusters unusable
+    AttrSet a_side;             // a plus everything glued to it
+    AttrSet b_side;             // b plus everything glued to it
+    std::vector<AttrSet> free_clusters;  // remaining contracted items
+  };
+
   /// Enumerates up to `max_results` full MVDs over `universe` with the given
   /// key and pinned pair. Stats are reset per call. On deadline expiry the
   /// partial result collected so far is returned.
@@ -55,6 +71,16 @@ class FullMvdSearch {
   /// least one full MVD exists. Cheaper than Find(...).size() only in that
   /// it stops at the first witness.
   bool Separates(AttrSet key, AttrSet universe, int a, int b);
+
+  /// Separates plus the witness: when `key` separates, writes the first
+  /// full MVD found into `*witness` (deps()[0] contains a, deps()[1]
+  /// contains b) and returns true. `witness` may be nullptr.
+  bool FindWitness(AttrSet key, AttrSet universe, int a, int b, Mvd* witness);
+
+  /// Computes the pairwise-consistency contraction for (key, a, b) without
+  /// running the side-assignment search. Unlike Find, stats are NOT reset —
+  /// the J evaluations accumulate into the enclosing call's counters.
+  SideAgreement AgreementClusters(AttrSet key, AttrSet universe, int a, int b);
 
   const SearchStats& stats() const { return stats_; }
   double epsilon() const { return epsilon_; }

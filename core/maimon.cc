@@ -20,6 +20,7 @@ namespace {
 struct PairMineResult {
   std::vector<AttrSet> separators;
   std::vector<Mvd> mvds;
+  MinSepsStats min_sep_stats;
   Status status;
 };
 
@@ -43,7 +44,9 @@ PairMineResult MineOnePair(const InfoCalc& calc, const MaimonConfig& config,
   }
 
   FullMvdSearch search(calc, config.epsilon, &slice);
-  MinSepsResult seps = MineMinSeps(&search, universe, a, b, &slice);
+  MinSepsResult seps =
+      MineMinSeps(&search, universe, a, b, &slice, config.mvd.min_seps);
+  out.min_sep_stats = seps.stats;
   if (!seps.status.ok()) out.status = seps.status;
 
   for (AttrSet s : seps.separators) {
@@ -101,6 +104,7 @@ const MvdMinerResult& Maimon::MineMvds() {
     for (Mvd& mvd : pr.mvds) {
       if (mvd_set.insert(mvd).second) result.mvds.push_back(std::move(mvd));
     }
+    result.min_sep_stats.Accumulate(pr.min_sep_stats);
     if (result.status.ok() && !pr.status.ok()) result.status = pr.status;
   }
   if (!completed && result.status.ok()) {

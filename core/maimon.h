@@ -46,6 +46,9 @@ struct MvdMinerOptions {
   /// Split the MVD budget evenly across attribute pairs so one explosive
   /// pair cannot consume the whole allowance.
   bool slice_budget_across_pairs = false;
+  /// Per-pair separator enumeration knobs (close-separator walk by
+  /// default; `exhaustive` selects the lattice-sweep differential oracle).
+  MinSepsOptions min_seps;
 };
 
 struct SchemaMinerOptions {
@@ -81,6 +84,9 @@ struct MaimonConfig {
 struct MvdMinerResult {
   std::vector<AttrSet> separators;  // distinct minimal separators
   std::vector<Mvd> mvds;            // distinct full MVDs
+  /// Separator-walk accounting summed over every (a, b) pair: seeds,
+  /// expansion nodes, and oracle verification calls (MinSepsStats).
+  MinSepsStats min_sep_stats;
   Status status;
 
   size_t NumSeparators() const { return separators.size(); }

@@ -6,16 +6,23 @@
 // These keys are the separator candidates MVDMiner walks (the step the
 // paper reports dominates total runtime, Figs. 13/14).
 //
-// Enumeration is an exhaustive size-ascending lattice walk with subset
-// pruning: complete and exactly-minimal, because entropic separation is not
-// monotone and shrink-and-branch shortcuts miss separators. Budget-bounded
-// via Deadline; a partial result with DeadlineExceeded is returned on
-// expiry. (A smarter close-separator walk is a future optimization; see
-// ROADMAP.md.)
+// The default enumeration is a close-separator / neighborhood walk
+// (DESIGN.md "Close-separator walk"): the oracle-verified
+// component-neighborhood separators of a and b seed a queue, and every
+// discovered minimal separator S is expanded by substituting each x ∈ S —
+// the walk re-blocks the component x shields from the rest of the
+// candidate pool and re-minimizes. Entropic separation is never treated as
+// monotone: each emitted set is re-verified against the entropy oracle,
+// separation and inclusion-minimality both, and the output is reduced to
+// its inclusion-minimal antichain. The exhaustive size-ascending lattice
+// sweep survives behind MinSepsOptions::exhaustive as the differential-test
+// oracle (tests/min_seps_walk_test.cc pins close ≡ exhaustive on every
+// small-universe fixture).
 
 #ifndef MAIMON_CORE_MIN_SEPS_H_
 #define MAIMON_CORE_MIN_SEPS_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "core/full_mvd.h"
@@ -23,25 +30,56 @@
 
 namespace maimon {
 
-/// Widest candidate pool the walk supports: combination masks live in one
-/// uint64_t, and `uint64_t{1} << m` is undefined for m >= 64. Pools wider
-/// than this are rejected with kInvalidArgument instead of silently
-/// invoking UB. (With the current 64-bit AttrSet a pool tops out at 63 —
-/// universe minus a pinned attribute — so the guard protects the day
-/// AttrSet grows wider.)
+/// Widest candidate pool the *exhaustive* sweep supports: its combination
+/// masks live in one uint64_t, and `uint64_t{1} << m` is undefined for
+/// m >= 64. Wider pools are rejected with kInvalidArgument instead of
+/// silently invoking UB. (With the current 64-bit AttrSet a pool tops out
+/// at 63 — universe minus a pinned attribute — so the guard protects the
+/// day AttrSet grows wider.) The close-separator walk carries no mask
+/// arithmetic and accepts any pool AttrSet can represent.
 inline constexpr int kMaxSeparatorPoolWidth = 63;
+
+struct MinSepsOptions {
+  /// Run the exhaustive size-ascending lattice sweep instead of the
+  /// close-separator walk. Exponential in the pool width — keep it for
+  /// differential fixtures and ablation rows, not production mining.
+  bool exhaustive = false;
+};
+
+/// Per-pair walk accounting, aggregated across the pair grid by
+/// Maimon::MineMvds and reported per row by the figure benches.
+struct MinSepsStats {
+  /// Component-neighborhood seeds emitted at the walk's root (close to a /
+  /// close to b; 0 in exhaustive mode).
+  uint64_t seeds = 0;
+  /// Substitution nodes expanded from discovered separators (0 in
+  /// exhaustive mode).
+  uint64_t expansions = 0;
+  /// Distinct separation verifications issued to the entropy oracle
+  /// (FullMvdSearch::FindWitness / Separates calls; memoized repeats are
+  /// not counted).
+  uint64_t oracle_calls = 0;
+
+  void Accumulate(const MinSepsStats& other) {
+    seeds += other.seeds;
+    expansions += other.expansions;
+    oracle_calls += other.oracle_calls;
+  }
+};
 
 struct MinSepsResult {
   std::vector<AttrSet> separators;
   Status status;  // DeadlineExceeded when the enumeration was cut short;
-                  // InvalidArgument for pools wider than
+                  // InvalidArgument for exhaustive-mode pools wider than
                   // kMaxSeparatorPoolWidth
+  MinSepsStats stats;
 };
 
 /// `search` carries the entropy oracle and threshold; `deadline` (nullable)
 /// bounds this call and is typically the same object `search` polls.
 MinSepsResult MineMinSeps(FullMvdSearch* search, AttrSet universe, int a,
-                          int b, const Deadline* deadline);
+                          int b, const Deadline* deadline,
+                          const MinSepsOptions& options = MinSepsOptions());
 
 }  // namespace maimon
 

@@ -2,6 +2,7 @@
 
 #include "entropy/pli_engine.h"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
@@ -143,6 +144,28 @@ double PliEntropyEngine::Entropy(AttrSet attrs) {
   // entry for free instead of opening a value-only entry.
   if (options.cache_entropy_values) cache_.PutEntropy(attrs, h);
   return h;
+}
+
+std::vector<double> PliEntropyEngine::EntropyBatch(
+    const std::vector<AttrSet>& queries) {
+  // Ascending-width schedule: a narrow query's partition is staged into the
+  // LRU before the wider queries that extend it run, so the batch shares
+  // prefix work. Index tiebreak keeps the schedule deterministic; the value
+  // memo makes answering in scheduled order equivalent to input order.
+  std::vector<size_t> order(queries.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t lhs, size_t rhs) {
+    const int cl = queries[lhs].Count();
+    const int cr = queries[rhs].Count();
+    if (cl != cr) return cl < cr;
+    if (queries[lhs].bits() != queries[rhs].bits()) {
+      return queries[lhs].bits() < queries[rhs].bits();
+    }
+    return lhs < rhs;
+  });
+  std::vector<double> out(queries.size());
+  for (size_t i : order) out[i] = Entropy(queries[i]);
+  return out;
 }
 
 PliEntropyEngine::Stats PliEntropyEngine::stats() const {

@@ -91,6 +91,10 @@ class PliEntropyEngine : public EntropyEngine {
                             PliEngineOptions options = PliEngineOptions());
 
   double Entropy(AttrSet attrs) override;
+  /// Width-ordered batch: narrow sets are computed (and staged into the
+  /// cache) before the wider sets that extend them, so one batch of related
+  /// candidates shares prefix partitions. Results come back in input order.
+  std::vector<double> EntropyBatch(const std::vector<AttrSet>& queries) override;
   /// Total queries answered by this shard plus everything merged into it.
   uint64_t NumQueries() const override { return num_queries_ + merged_.queries; }
 

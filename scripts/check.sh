@@ -12,15 +12,20 @@
 #            run the concurrency suite (parallel_test: pool, sharded
 #            engines, full parallel pipeline) under it. The default lane is
 #            unchanged.
+#   --asan   additionally build <repo>/build-asan with AddressSanitizer +
+#            UBSan and run the full unit suite under it (same -LE slow
+#            selection as the default lane).
 
 set -euo pipefail
 
 slow=0
 tsan=0
+asan=0
 for arg in "$@"; do
   case "${arg}" in
     --slow) slow=1 ;;
     --tsan) tsan=1 ;;
+    --asan) asan=1 ;;
     *) echo "unknown argument: ${arg}" >&2; exit 2 ;;
   esac
 done
@@ -51,6 +56,18 @@ if [[ "${tsan}" -eq 1 ]]; then
         -DMAIMON_WITH_GBENCH=OFF
   cmake --build "${tsan_dir}" -j "${jobs}" --target parallel_test
   ctest --test-dir "${tsan_dir}" --output-on-failure -R '^parallel_test$'
+fi
+
+if [[ "${asan}" -eq 1 ]]; then
+  echo "--- asan lane: unit suites under AddressSanitizer + UBSan ---"
+  asan_dir="${repo_root}/build-asan"
+  # Mirrors the tsan plumbing: a dedicated instrumented tree, no gbench.
+  # Unlike tsan (which only needs the concurrency suite), ASan+UBSan earns
+  # its keep on every unit suite, so the whole tier-1 selection runs.
+  cmake -B "${asan_dir}" -S "${repo_root}" -DMAIMON_ASAN=ON \
+        -DMAIMON_WITH_GBENCH=OFF
+  cmake --build "${asan_dir}" -j "${jobs}"
+  ctest --test-dir "${asan_dir}" --output-on-failure -j "${jobs}" -LE slow
 fi
 
 if [[ -x "${build_dir}/bench_entropy_engine" ]]; then

@@ -132,13 +132,14 @@ TEST_CASE(MaimonMinesSchemasOnPlantedData) {
   CHECK(some_schema_saves);
 }
 
-TEST_CASE(MineMinSepsSurvivesTheWidestSupportedPool) {
+TEST_CASE(ExhaustiveSweepSurvivesTheWidestSupportedPool) {
   // The widest pool reachable through the 64-bit AttrSet: a 64-attribute
   // universe with a degenerate pinned pair (a == b) leaves m = 63 free
-  // attributes, the exact boundary of the uint64 combination walk
-  // (kMaxSeparatorPoolWidth). Every shift in the walk must stay defined;
-  // the 2^63-candidate sweep itself is cut off by a short deadline. A
-  // degenerate pair never separates, so no separator may be reported.
+  // attributes, the exact boundary of the uint64 combination masks in the
+  // exhaustive lattice sweep (kMaxSeparatorPoolWidth). Every shift in the
+  // sweep must stay defined; the 2^63-candidate space itself is cut off by
+  // a short deadline. A degenerate pair never separates, so no separator
+  // may be reported.
   std::vector<std::vector<uint32_t>> rows;
   for (uint32_t r = 0; r < 4; ++r) {
     rows.push_back(std::vector<uint32_t>(64, r));
@@ -148,18 +149,42 @@ TEST_CASE(MineMinSepsSurvivesTheWidestSupportedPool) {
   InfoCalc calc(&engine);
   Deadline deadline = Deadline::After(0.05);
   FullMvdSearch search(calc, 0.0, &deadline);
+  MinSepsOptions options;
+  options.exhaustive = true;
   const MinSepsResult result =
-      MineMinSeps(&search, wide.Universe(), 0, 0, &deadline);
+      MineMinSeps(&search, wide.Universe(), 0, 0, &deadline, options);
   CHECK(result.status.IsDeadlineExceeded());
   CHECK(result.separators.empty());
 }
 
-TEST_CASE(MineMinSepsRejectsPoolsBeyondTheComboWidth) {
+TEST_CASE(CloseWalkHandlesTheWidestPoolWithoutAGuard) {
+  // The close-separator walk carries no mask arithmetic, so the same
+  // 63-attribute pool that forces the exhaustive sweep against its uint64
+  // boundary is just a single root oracle call here: the degenerate pair
+  // never separates, so the walk ends immediately — inside the deadline,
+  // with a clean OK status.
+  std::vector<std::vector<uint32_t>> rows;
+  for (uint32_t r = 0; r < 4; ++r) {
+    rows.push_back(std::vector<uint32_t>(64, r));
+  }
+  const Relation wide = Relation::FromRows(rows, 64);
+  PliEntropyEngine engine(wide);
+  InfoCalc calc(&engine);
+  Deadline deadline = Deadline::After(5.0);
+  FullMvdSearch search(calc, 0.0, &deadline);
+  const MinSepsResult result =
+      MineMinSeps(&search, wide.Universe(), 0, 0, &deadline);
+  CHECK(result.status.ok());
+  CHECK(result.separators.empty());
+  CHECK_EQ(result.stats.oracle_calls, uint64_t{1});
+}
+
+TEST_CASE(ExhaustiveSweepRejectsPoolsBeyondTheComboWidth) {
   // Pools of >= 64 attributes would shift a uint64 by its full width — UB.
   // Such a pool is unreachable while AttrSet is a 64-bit mask (removing
   // the pinned attributes always leaves <= 63), so the guard is exercised
   // at its contract level: the widest representable pool must sit exactly
-  // at the supported limit, and the limit must match what the walk's
+  // at the supported limit, and the limit must match what the sweep's
   // masks can hold.
   const AttrSet universe = AttrSet::Universe(64);
   CHECK_EQ(universe.Without(0).Count(), kMaxSeparatorPoolWidth);
