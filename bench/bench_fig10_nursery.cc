@@ -45,12 +45,14 @@ void PrintSchemeRow(const SchemeRow& row) {
               row.schema.c_str());
 }
 
-void Run(double budget_per_eps, size_t max_schemas) {
+void Run(double budget_per_eps, size_t max_schemas, bool json) {
   Relation nursery = NurseryDataset();
-  Header("Figures 10-11: Nursery use case",
-         "rows=" + std::to_string(nursery.NumRows()) +
-             " cells=" + std::to_string(nursery.CellCount()) +
-             " (matches paper: 12960 rows, 116640 cells)");
+  if (!json) {
+    Header("Figures 10-11: Nursery use case",
+           "rows=" + std::to_string(nursery.NumRows()) +
+               " cells=" + std::to_string(nursery.CellCount()) +
+               " (matches paper: 12960 rows, 116640 cells)");
+  }
 
   std::vector<SchemeRow> all;
   for (double eps : {0.0, 0.02, 0.05, 0.08, 0.1, 0.12, 0.15, 0.18, 0.2,
@@ -79,13 +81,20 @@ void Run(double budget_per_eps, size_t max_schemas) {
 
     const std::string marker =
         SchemeRunMarker(schemas, ranked.status.IsDeadlineExceeded());
-    std::printf(
-        "[eps=%.2f] schemes=%zu (MIS=%llu, conflict graph: %zu MVDs / %zu "
-        "edges)%s\n",
-        eps, schemas.schemas.size(),
-        static_cast<unsigned long long>(schemas.independent_sets),
-        schemas.conflict_vertices, schemas.conflict_edges, marker.c_str());
+    if (json) {
+      // Same JSONL row discipline as fig13/fig14 (--json on every figure
+      // bench): one object per eps row, shared emission in bench_util.h.
+      PrintSchemeRunJsonRow(10, "Nursery", eps, schemas, marker);
+    } else {
+      std::printf(
+          "[eps=%.2f] schemes=%zu (MIS=%llu, conflict graph: %zu MVDs / %zu "
+          "edges)%s\n",
+          eps, schemas.schemas.size(),
+          static_cast<unsigned long long>(schemas.independent_sets),
+          schemas.conflict_vertices, schemas.conflict_edges, marker.c_str());
+    }
   }
+  if (json) return;  // JSONL mode keeps stdout pure rows
 
   // Deduplicate schemes found at several thresholds: keep first.
   std::vector<SchemeRow> distinct;
@@ -144,13 +153,19 @@ void Run(double budget_per_eps, size_t max_schemas) {
 int main(int argc, char** argv) {
   double budget = 5.0;
   size_t max_schemas = 200;
+  bool json = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--budget=", 9) == 0) {
       budget = std::atof(argv[i] + 9);
     } else if (std::strncmp(argv[i], "--max-schemas=", 14) == 0) {
       max_schemas = static_cast<size_t>(std::atoll(argv[i] + 14));
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      return 2;
     }
   }
-  maimon::bench::Run(budget, max_schemas);
+  maimon::bench::Run(budget, max_schemas, json);
   return 0;
 }

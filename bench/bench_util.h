@@ -227,6 +227,26 @@ inline void PrintMinSepsRowHeader(const char* axis) {
   Rule(64);
 }
 
+/// One machine-readable scheme-mining row (JSONL, one object per line),
+/// shared by the fig10/fig15 harnesses the way PrintMinSepsJsonRow is by
+/// fig13/fig14: the common per-eps fields from one place, plus an optional
+/// `extra` fragment (fig15's empirical-vs-analytic audit columns) spliced
+/// before the closing brace — must start with ',' when non-empty.
+inline void PrintSchemeRunJsonRow(int fig, const std::string& dataset,
+                                  double eps, const AsMinerResult& result,
+                                  const std::string& marker,
+                                  const std::string& extra = "") {
+  std::printf(
+      "{\"fig\":%d,\"dataset\":\"%s\",\"eps\":%.2f,\"schemes\":%zu,"
+      "\"mis\":%llu,\"conflict_vertices\":%zu,\"conflict_edges\":%zu,"
+      "\"marker\":\"%s\"%s}\n",
+      fig, dataset.c_str(), eps, result.schemas.size(),
+      static_cast<unsigned long long>(result.independent_sets),
+      result.conflict_vertices, result.conflict_edges, marker.c_str(),
+      extra.c_str());
+  std::fflush(stdout);
+}
+
 /// Shared --threads=N / -tN flag parsing for the figure harnesses.
 /// Returns true when `arg` was a *well-formed* thread flag (and sets
 /// *num_threads to its non-negative value). A malformed count ("-tx",

@@ -113,6 +113,12 @@ const MvdMinerResult& Maimon::MineMvds() {
   return result;
 }
 
+DecompositionAudit Maimon::DecomposeAndAudit(
+    const MinedSchema& scheme, const DecompAuditOptions& options) const {
+  return maimon::DecomposeAndAudit(*relation_, scheme.schema, *calc_,
+                                   options);
+}
+
 AsMinerResult Maimon::MineSchemas() {
   const MvdMinerResult& mined = MineMvds();
   const Deadline deadline =

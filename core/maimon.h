@@ -34,6 +34,7 @@
 #include "core/mvd.h"
 #include "core/schema.h"
 #include "data/relation.h"
+#include "decomp/audit.h"
 #include "entropy/info_calc.h"
 #include "entropy/pli_engine.h"
 #include "util/status.h"
@@ -124,6 +125,13 @@ class Maimon {
   const MvdMinerResult& MineMvds();
   /// Runs MineMvds() first (if not already run), then enumerates schemas.
   AsMinerResult MineSchemas();
+  /// Executes a mined scheme end to end (decomp/): projection store,
+  /// Yannakakis join, empirical lossless-join audit differenced against
+  /// the analytic counting DP. Pure read of the relation — safe to call
+  /// for any number of schemes after mining.
+  DecompositionAudit DecomposeAndAudit(
+      const MinedSchema& scheme,
+      const DecompAuditOptions& options = DecompAuditOptions()) const;
 
   const InfoCalc& oracle() const { return *calc_; }
   PliEntropyEngine& engine() { return *engine_; }

@@ -1,0 +1,99 @@
+// Copyright (c) Maimon-cpp authors. Licensed under the MIT license.
+
+#include "decomp/audit.h"
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "decomp/projection_store.h"
+#include "join/join_tree.h"
+
+namespace maimon {
+
+DecompositionAudit DecomposeAndAudit(const Relation& relation,
+                                     const Schema& schema,
+                                     const InfoCalc& oracle,
+                                     const DecompAuditOptions& options) {
+  DecompositionAudit audit;
+  if (schema.NumRelations() == 0) {
+    audit.status = Status::InvalidArgument("empty schema");
+    return audit;
+  }
+  if (!schema.IsAcyclic()) {
+    audit.status = Status::InvalidArgument(
+        "cyclic schema: no join tree, audit undefined");
+    return audit;
+  }
+
+  // The analytic side: S/E/J plus the counting-DP join_rows.
+  audit.analytic = EvaluateSchema(relation, schema, oracle);
+
+  // The materialized side: deduplicated projections + accounting.
+  const ProjectionStore store(relation, schema);
+  audit.projections.reserve(store.NumProjections());
+  for (const StoredProjection& p : store.projections()) {
+    audit.projections.push_back({p.attrs, p.NumRows(), p.Cells(), p.Bytes()});
+  }
+  audit.savings_pct = store.SavingsPct();
+
+  const Deadline deadline = options.budget_seconds > 0
+                                ? Deadline::After(options.budget_seconds)
+                                : Deadline::Infinite();
+  YannakakisExecutor executor(store);
+  YannakakisOptions exec_options;
+  exec_options.materialize = options.materialize;
+  exec_options.deadline = &deadline;
+  audit.join = executor.Execute(exec_options);
+  audit.join_rows = audit.join.rows;
+  audit.semijoin_dropped = executor.semijoin_dropped();
+  audit.status = audit.join.status;
+
+  audit.original_rows = relation.NumRows();
+  if (!audit.status.ok()) {
+    // Partial audit: counts reflect the phases that completed before the
+    // budget blew; the boolean verdicts stay false rather than claim
+    // anything unverified, and the probe sweep below is skipped outright —
+    // a caller on a blown budget wants out, not more passes.
+    return audit;
+  }
+
+  // Original-instance counts over the schema universe (the DP's baseline:
+  // set semantics on the covered attributes), fused with the membership
+  // probe: each distinct row is checked against the reduced store — the
+  // definitional natural join test, independent of the enumeration. The
+  // sweep polls the same deadline as the join phases (every 1024 rows).
+  const AttrSet universe = schema.UniverseAttrs();
+  const std::vector<int> universe_cols = universe.ToVector();
+  std::unordered_set<std::string> distinct;
+  distinct.reserve(relation.NumRows());
+  std::vector<uint32_t> tuple(universe_cols.size());
+  bool contains = true;
+  for (size_t r = 0; r < relation.NumRows(); ++r) {
+    if ((r & 1023) == 0 && deadline.Expired()) {
+      audit.status = Status::DeadlineExceeded("membership probe sweep");
+      return audit;
+    }
+    for (size_t i = 0; i < universe_cols.size(); ++i) {
+      tuple[i] = relation.Value(r, universe_cols[i]);
+    }
+    if (!distinct.insert(PackFullTupleKey(tuple)).second) continue;
+    contains = contains && executor.ContainsRow(relation, r);
+  }
+  audit.original_distinct = distinct.size();
+
+  audit.contains_original = contains;
+  audit.spurious = audit.join_rows >= audit.original_distinct
+                       ? audit.join_rows - audit.original_distinct
+                       : 0;
+  audit.exact =
+      contains && audit.join_rows == audit.original_distinct;
+  // Exact double comparison on purpose: the DP accumulates integral counts
+  // (sums of products of non-negative integers), exact in a double up to
+  // 2^53 — a ULP mismatch is a real bug, not noise.
+  audit.matches_analytic =
+      static_cast<double>(audit.join_rows) == audit.analytic.join_rows;
+  return audit;
+}
+
+}  // namespace maimon

@@ -1,0 +1,78 @@
+// Copyright (c) Maimon-cpp authors. Licensed under the MIT license.
+
+#include "decomp/projection_store.h"
+
+#include <string>
+#include <unordered_set>
+#include <utility>
+
+#include "join/join_tree.h"
+
+namespace maimon {
+
+Relation StoredProjection::ToRelation() const {
+  std::vector<std::vector<uint32_t>> cols(columns.size());
+  for (size_t c = 0; c < columns.size(); ++c) {
+    cols[c].reserve(rows.size());
+    for (const auto& row : rows) cols[c].push_back(row[c]);
+  }
+  return Relation(std::move(cols), domains);
+}
+
+ProjectionStore::ProjectionStore(const Relation& relation,
+                                 const Schema& schema) {
+  original_cells_ = relation.CellCount();
+  projections_.reserve(schema.Relations().size());
+  for (AttrSet attrs : schema.Relations()) {
+    StoredProjection p;
+    p.attrs = attrs;
+    p.columns = attrs.ToVector();
+
+    // Bag projection, then hash-based distinct in row order: the projected
+    // columns are renumbered 0..k-1 but keep the original codes, so the
+    // distinct rows here are exactly the distinct projected rows of the
+    // source relation.
+    const Relation bag = relation.ProjectWithDuplicates(attrs);
+    p.domains.reserve(p.columns.size());
+    for (int c = 0; c < bag.NumCols(); ++c) p.domains.push_back(bag.DomainSize(c));
+
+    std::unordered_set<std::string> seen;
+    seen.reserve(bag.NumRows());
+    std::vector<uint32_t> tuple(p.columns.size());
+    for (size_t r = 0; r < bag.NumRows(); ++r) {
+      for (int c = 0; c < bag.NumCols(); ++c) {
+        tuple[static_cast<size_t>(c)] = bag.Value(r, c);
+      }
+      if (seen.insert(PackFullTupleKey(tuple)).second) {
+        p.rows.push_back(tuple);
+      }
+    }
+    projections_.push_back(std::move(p));
+  }
+}
+
+size_t ProjectionStore::TotalRows() const {
+  size_t total = 0;
+  for (const StoredProjection& p : projections_) total += p.NumRows();
+  return total;
+}
+
+size_t ProjectionStore::TotalCells() const {
+  size_t total = 0;
+  for (const StoredProjection& p : projections_) total += p.Cells();
+  return total;
+}
+
+size_t ProjectionStore::TotalBytes() const {
+  size_t total = 0;
+  for (const StoredProjection& p : projections_) total += p.Bytes();
+  return total;
+}
+
+double ProjectionStore::SavingsPct() const {
+  if (original_cells_ == 0) return 0.0;
+  return 100.0 * (1.0 - static_cast<double>(TotalCells()) /
+                            static_cast<double>(original_cells_));
+}
+
+}  // namespace maimon

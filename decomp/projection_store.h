@@ -1,0 +1,79 @@
+// Copyright (c) Maimon-cpp authors. Licensed under the MIT license.
+//
+// ProjectionStore: the materialized side of a decomposition. For each
+// relation schema of a (mined) Schema it holds the deduplicated projection
+// of the dictionary-encoded Relation — hash-based distinct on top of
+// Relation::ProjectWithDuplicates — plus per-projection row/cell/byte
+// accounting. The accounting is the storage-savings S numerator, computed
+// from actually-materialized rows, so SavingsPct() must agree exactly with
+// the counting-based SchemaReport::savings_pct (decomp_test pins this).
+
+#ifndef MAIMON_DECOMP_PROJECTION_STORE_H_
+#define MAIMON_DECOMP_PROJECTION_STORE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/schema.h"
+#include "data/relation.h"
+#include "util/attr_set.h"
+
+namespace maimon {
+
+/// One stored projection: the distinct rows of the relation restricted to
+/// `attrs`, in first-occurrence order (deterministic for a fixed relation).
+struct StoredProjection {
+  AttrSet attrs;
+  std::vector<int> columns;                   // ascending original indices
+  std::vector<std::vector<uint32_t>> rows;    // distinct projected tuples
+  /// Domain sizes of `columns` in the source relation (for ToRelation).
+  std::vector<uint32_t> domains;
+
+  size_t NumRows() const { return rows.size(); }
+  size_t Cells() const { return rows.size() * columns.size(); }
+  /// Materialized payload bytes (codes only, excluding vector overhead) —
+  /// the honest storage-cost unit of the dictionary-encoded store.
+  size_t Bytes() const { return Cells() * sizeof(uint32_t); }
+
+  /// The projection as a standalone Relation (codes preserved verbatim),
+  /// e.g. for CSV export via data/relation_io.h.
+  Relation ToRelation() const;
+};
+
+class ProjectionStore {
+ public:
+  /// Materializes one distinct projection per relation of `schema`.
+  ProjectionStore(const Relation& relation, const Schema& schema);
+
+  /// Adopts pre-built projections (e.g. imported via data/relation_io.h).
+  /// Unlike the relation constructor, these need not be globally
+  /// consistent — the Yannakakis reducer then actually drops dangling
+  /// tuples. `original_cells` anchors SavingsPct (0 disables it).
+  ProjectionStore(std::vector<StoredProjection> projections,
+                  size_t original_cells)
+      : projections_(std::move(projections)),
+        original_cells_(original_cells) {}
+
+  const std::vector<StoredProjection>& projections() const {
+    return projections_;
+  }
+  size_t NumProjections() const { return projections_.size(); }
+
+  size_t TotalRows() const;
+  size_t TotalCells() const;
+  size_t TotalBytes() const;
+
+  /// 100 * (1 - cells(projections) / cells(original)); the same arithmetic
+  /// as SchemaReport::savings_pct, fed from the materialized store.
+  double SavingsPct() const;
+
+ private:
+  std::vector<StoredProjection> projections_;
+  size_t original_cells_ = 0;
+};
+
+}  // namespace maimon
+
+#endif  // MAIMON_DECOMP_PROJECTION_STORE_H_

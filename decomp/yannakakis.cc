@@ -1,0 +1,216 @@
+// Copyright (c) Maimon-cpp authors. Licensed under the MIT license.
+
+#include "decomp/yannakakis.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace maimon {
+namespace {
+
+// Positions (within `columns`) of the attributes in `shared`.
+std::vector<int> SharedPositions(const std::vector<int>& columns,
+                                 AttrSet shared) {
+  std::vector<int> out;
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (shared.Contains(columns[i])) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+}  // namespace
+
+YannakakisExecutor::YannakakisExecutor(const ProjectionStore& store) {
+  const std::vector<StoredProjection>& projections = store.projections();
+  std::vector<AttrSet> rels;
+  rels.reserve(projections.size());
+  for (const StoredProjection& p : projections) rels.push_back(p.attrs);
+  tree_ = BuildMaxOverlapJoinTree(rels);
+
+  AttrSet universe;
+  nodes_.resize(projections.size());
+  for (size_t v = 0; v < projections.size(); ++v) {
+    nodes_[v].attrs = projections[v].attrs;
+    nodes_[v].columns = projections[v].columns;
+    nodes_[v].tuples = projections[v].rows;
+    universe = universe.Union(projections[v].attrs);
+    const int parent = tree_.parent[v];
+    if (parent >= 0) {
+      nodes_[v].sep_positions = SharedPositions(
+          nodes_[v].columns,
+          projections[v].attrs.Intersect(
+              projections[static_cast<size_t>(parent)].attrs));
+    }
+    RebuildKeys(&nodes_[v]);
+  }
+
+  out_columns_ = universe.ToVector();
+  std::vector<size_t> slot_of(static_cast<size_t>(AttrSet::kMaxAttrs), 0);
+  for (size_t i = 0; i < out_columns_.size(); ++i) {
+    slot_of[static_cast<size_t>(out_columns_[i])] = i;
+  }
+  out_positions_.resize(nodes_.size());
+  for (size_t v = 0; v < nodes_.size(); ++v) {
+    for (int c : nodes_[v].columns) {
+      out_positions_[v].push_back(slot_of[static_cast<size_t>(c)]);
+    }
+  }
+}
+
+void YannakakisExecutor::RebuildKeys(Node* node) const {
+  node->keys.clear();
+  node->keys.reserve(node->tuples.size());
+  for (const auto& tuple : node->tuples) {
+    node->keys.insert(PackFullTupleKey(tuple));
+  }
+}
+
+Status YannakakisExecutor::Reduce(const Deadline* deadline) {
+  if (reduced_) return Status::Ok();
+
+  // Semijoin node `v` with the separator keys of `other` (already packed):
+  // keep only tuples whose separator projection appears in `other`.
+  const auto semijoin = [&](size_t v, const std::vector<int>& positions,
+                            const std::unordered_set<std::string>& other) {
+    Node& node = nodes_[v];
+    std::vector<std::vector<uint32_t>> kept;
+    kept.reserve(node.tuples.size());
+    for (auto& tuple : node.tuples) {
+      if (other.count(PackTupleKey(tuple, positions)) > 0) {
+        kept.push_back(std::move(tuple));
+      } else {
+        ++semijoin_dropped_;
+      }
+    }
+    node.tuples = std::move(kept);
+  };
+  const auto sep_keys = [&](size_t v, const std::vector<int>& positions) {
+    std::unordered_set<std::string> keys;
+    keys.reserve(nodes_[v].tuples.size());
+    for (const auto& tuple : nodes_[v].tuples) {
+      keys.insert(PackTupleKey(tuple, positions));
+    }
+    return keys;
+  };
+
+  // Leaf-to-root: reverse preorder visits every child before its parent,
+  // so each node is filtered against fully-reduced subtrees.
+  for (size_t i = tree_.preorder.size(); i-- > 0;) {
+    const size_t v = static_cast<size_t>(tree_.preorder[i]);
+    for (int c : tree_.children[v]) {
+      if (DeadlineExpired(deadline)) {
+        return Status::DeadlineExceeded("semijoin reducer (leaf-to-root)");
+      }
+      const size_t cv = static_cast<size_t>(c);
+      const AttrSet sep = nodes_[v].attrs.Intersect(nodes_[cv].attrs);
+      semijoin(v, SharedPositions(nodes_[v].columns, sep),
+               sep_keys(cv, nodes_[cv].sep_positions));
+    }
+  }
+  // Root-to-leaf: each child is filtered against its (now fully reduced)
+  // parent; afterwards no tuple anywhere is dangling.
+  for (int pv : tree_.preorder) {
+    const size_t v = static_cast<size_t>(pv);
+    for (int c : tree_.children[v]) {
+      if (DeadlineExpired(deadline)) {
+        return Status::DeadlineExceeded("semijoin reducer (root-to-leaf)");
+      }
+      const size_t cv = static_cast<size_t>(c);
+      const AttrSet sep = nodes_[v].attrs.Intersect(nodes_[cv].attrs);
+      semijoin(cv, nodes_[cv].sep_positions,
+               sep_keys(v, SharedPositions(nodes_[v].columns, sep)));
+    }
+  }
+  for (Node& node : nodes_) RebuildKeys(&node);
+  reduced_ = true;
+  return Status::Ok();
+}
+
+JoinResult YannakakisExecutor::Execute(const YannakakisOptions& options) {
+  JoinResult result;
+  result.columns = out_columns_;
+  result.status = Reduce(options.deadline);
+  if (!result.status.ok()) return result;
+
+  // Per-node hash index on the parent separator.
+  for (size_t v = 0; v < nodes_.size(); ++v) {
+    if (tree_.parent[v] < 0) continue;
+    Node& node = nodes_[v];
+    node.index.clear();
+    node.index.reserve(node.tuples.size());
+    for (size_t t = 0; t < node.tuples.size(); ++t) {
+      node.index[PackTupleKey(node.tuples[t], node.sep_positions)]
+          .push_back(t);
+    }
+  }
+
+  std::vector<uint32_t> out(out_columns_.size(), 0);
+  uint64_t poll_counter = 0;
+  if (!Extend(0, &out, &result, options, &poll_counter)) {
+    result.status = Status::DeadlineExceeded("join enumeration");
+  }
+  return result;
+}
+
+bool YannakakisExecutor::Extend(size_t depth, std::vector<uint32_t>* out,
+                                JoinResult* result,
+                                const YannakakisOptions& options,
+                                uint64_t* poll_counter) {
+  if (depth == tree_.preorder.size()) {
+    ++result->rows;
+    if (options.materialize) result->tuples.push_back(*out);
+    // Poll every 1024 rows: cheap enough to vanish in the join cost, tight
+    // enough that a blown budget stops within microseconds.
+    if ((++*poll_counter & 1023) == 0 && DeadlineExpired(options.deadline)) {
+      return false;
+    }
+    return true;
+  }
+
+  const size_t v = static_cast<size_t>(tree_.preorder[depth]);
+  const Node& node = nodes_[v];
+  const std::vector<size_t>& slots = out_positions_[v];
+
+  const auto emit_tuple = [&](const std::vector<uint32_t>& tuple) {
+    for (size_t i = 0; i < tuple.size(); ++i) (*out)[slots[i]] = tuple[i];
+    return Extend(depth + 1, out, result, options, poll_counter);
+  };
+
+  if (tree_.parent[v] < 0) {
+    for (const auto& tuple : node.tuples) {
+      if (!emit_tuple(tuple)) return false;
+      if ((++*poll_counter & 1023) == 0 && DeadlineExpired(options.deadline)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  // The parent is already placed (preorder), so the separator values are
+  // bound in `out`; look the child tuples up by that key.
+  std::vector<uint32_t> key(node.sep_positions.size());
+  for (size_t i = 0; i < node.sep_positions.size(); ++i) {
+    key[i] = (*out)[slots[static_cast<size_t>(node.sep_positions[i])]];
+  }
+  const auto it = node.index.find(PackFullTupleKey(key));
+  if (it == node.index.end()) return true;  // no extension below v
+  for (size_t t : it->second) {
+    if (!emit_tuple(node.tuples[t])) return false;
+  }
+  return true;
+}
+
+bool YannakakisExecutor::ContainsRow(const Relation& relation,
+                                     size_t r) const {
+  std::vector<uint32_t> tuple;
+  for (const Node& node : nodes_) {
+    tuple.resize(node.columns.size());
+    for (size_t i = 0; i < node.columns.size(); ++i) {
+      tuple[i] = relation.Value(r, node.columns[i]);
+    }
+    if (node.keys.count(PackFullTupleKey(tuple)) == 0) return false;
+  }
+  return true;
+}
+
+}  // namespace maimon

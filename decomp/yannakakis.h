@@ -1,0 +1,115 @@
+// Copyright (c) Maimon-cpp authors. Licensed under the MIT license.
+//
+// YannakakisExecutor: materialized execution of an acyclic decomposition
+// over its join tree (join/join_tree.h — the same maximum-overlap tree the
+// analytic counting DP uses).
+//
+//   Reduce()  — the full semijoin reducer: a leaf-to-root pass (each node
+//               semijoined with every child on the edge separator) followed
+//               by a root-to-leaf pass. Afterwards every remaining tuple
+//               participates in at least one join result, so the join
+//               phase never generates dangling intermediates.
+//   Execute() — joins in join-tree order via per-edge hash indexes
+//               (separator key -> child tuples), streaming one result row
+//               at a time: in count-only mode rows are counted and
+//               discarded (O(tree depth) live state, wide joins are never
+//               retained), with `materialize` they are collected.
+//
+// ContainsRow probes the reduced store with the definition of the natural
+// join — t is in the join iff every projection of t is present — which
+// doubles as an executor-independent membership oracle for the audit.
+
+#ifndef MAIMON_DECOMP_YANNAKAKIS_H_
+#define MAIMON_DECOMP_YANNAKAKIS_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "decomp/projection_store.h"
+#include "join/join_tree.h"
+#include "util/status.h"
+#include "util/stopwatch.h"
+
+namespace maimon {
+
+struct YannakakisOptions {
+  /// Retain every joined row in JoinResult::tuples. Off by default: the
+  /// audit only needs the streamed count plus membership probes, so wide
+  /// reconstructions stay O(1) in result size.
+  bool materialize = false;
+  /// Polled between semijoin passes and every few enumerated rows; expiry
+  /// returns the partial count with kDeadlineExceeded. Nullable.
+  const Deadline* deadline = nullptr;
+};
+
+struct JoinResult {
+  /// Output columns: the schema universe's original indices, ascending.
+  std::vector<int> columns;
+  /// Exact number of rows of the natural join of the projections (partial
+  /// when status is kDeadlineExceeded).
+  uint64_t rows = 0;
+  /// Joined rows in `columns` order; filled only when materialize is set.
+  std::vector<std::vector<uint32_t>> tuples;
+  Status status;
+};
+
+class YannakakisExecutor {
+ public:
+  /// `store` must outlive the executor; its projections are copied into
+  /// mutable per-node tuple lists (Reduce filters them in place).
+  explicit YannakakisExecutor(const ProjectionStore& store);
+
+  /// Full semijoin reduction (idempotent; Execute runs it on demand).
+  /// Deadline expiry leaves the store partially reduced and returns
+  /// kDeadlineExceeded — the join result would still be correct, just
+  /// slower, but callers on a blown budget want out, not a join.
+  Status Reduce(const Deadline* deadline);
+
+  /// Streams the join; see YannakakisOptions.
+  JoinResult Execute(const YannakakisOptions& options);
+
+  /// Tuples dropped across both reducer passes (dangling tuples: stored
+  /// projection rows that join with no row of some neighbor).
+  uint64_t semijoin_dropped() const { return semijoin_dropped_; }
+
+  /// True iff row `r` of `relation` (restricted to the schema universe) is
+  /// in the join: every projection of the row is present in the (reduced)
+  /// store. `relation` must be the one the store was built from.
+  bool ContainsRow(const Relation& relation, size_t r) const;
+
+  const JoinTree& tree() const { return tree_; }
+
+ private:
+  // One node's mutable execution state.
+  struct Node {
+    AttrSet attrs;
+    std::vector<int> columns;            // original column indices
+    std::vector<std::vector<uint32_t>> tuples;
+    std::vector<int> sep_positions;      // parent-separator positions
+    // Membership keys of the current tuple list (full-width), rebuilt by
+    // Reduce; used by ContainsRow.
+    std::unordered_set<std::string> keys;
+    // Separator key -> tuple indices, built by Execute for non-root nodes.
+    std::unordered_map<std::string, std::vector<size_t>> index;
+  };
+
+  void RebuildKeys(Node* node) const;
+  // Depth-first extension over preorder position `depth`; returns false on
+  // deadline expiry.
+  bool Extend(size_t depth, std::vector<uint32_t>* out, JoinResult* result,
+              const YannakakisOptions& options, uint64_t* poll_counter);
+
+  JoinTree tree_;
+  std::vector<Node> nodes_;
+  std::vector<int> out_columns_;               // universe, ascending
+  std::vector<std::vector<size_t>> out_positions_;  // node col -> out slot
+  uint64_t semijoin_dropped_ = 0;
+  bool reduced_ = false;
+};
+
+}  // namespace maimon
+
+#endif  // MAIMON_DECOMP_YANNAKAKIS_H_

@@ -2,6 +2,7 @@
 
 #include "entropy/stripped_partition.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
@@ -16,6 +17,12 @@ namespace {
 thread_local std::vector<int32_t> tl_counts;
 thread_local std::vector<int32_t> tl_offsets;
 thread_local std::vector<int32_t> tl_touched;
+
+// Entropy's group-size histogram: occurrence count per group size plus the
+// list of sizes seen, same grow-only/reset-before-return discipline as the
+// Intersect buffers above.
+thread_local std::vector<int32_t> tl_size_counts;
+thread_local std::vector<int32_t> tl_sizes_seen;
 
 }  // namespace
 
@@ -146,11 +153,34 @@ double StrippedPartition::Entropy() const {
   if (num_rows_ == 0) return 0.0;
   const double n = static_cast<double>(num_rows_);
   const double log2n = std::log2(n);
-  double h = 0.0;
+  // Accumulate per distinct group size, in ascending size order. The
+  // partition for X is unique, but the *group order* depends on the
+  // intersection path that built it (which cached subset the derivation
+  // started from), and FP addition is not associative — summing in storage
+  // order would let cache state perturb H by ULPs. Canonical order makes H
+  // a pure function of the partition, which the thread-count-invariance
+  // contract (identical scores from warm facade engines and cold forked
+  // shards) leans on. Bucketing by size keeps this O(groups) — entropy is
+  // the pipeline's dominant cost — and as a bonus costs one log2 per
+  // *distinct* size instead of one per group.
+  if (tl_size_counts.size() < num_rows_ + 1) {
+    tl_size_counts.resize(num_rows_ + 1, 0);
+  }
+  tl_sizes_seen.clear();
   for (size_t g = 0; g < NumGroups(); ++g) {
-    const double c = static_cast<double>(GroupSize(g));
-    // -(c/n) log2(c/n) = (c/n) (log2 n - log2 c)
-    h += (c / n) * (log2n - std::log2(c));
+    const int32_t size = starts_[g + 1] - starts_[g];
+    if (tl_size_counts[static_cast<size_t>(size)]++ == 0) {
+      tl_sizes_seen.push_back(size);
+    }
+  }
+  std::sort(tl_sizes_seen.begin(), tl_sizes_seen.end());
+  double h = 0.0;
+  for (int32_t size : tl_sizes_seen) {
+    const double c = static_cast<double>(size);
+    // -(c/n) log2(c/n) = (c/n) (log2 n - log2 c), once per distinct size.
+    h += static_cast<double>(tl_size_counts[static_cast<size_t>(size)]) *
+         ((c / n) * (log2n - std::log2(c)));
+    tl_size_counts[static_cast<size_t>(size)] = 0;  // reset for next call
   }
   h += static_cast<double>(NumSingletons()) / n * log2n;
   return h;

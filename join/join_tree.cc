@@ -1,0 +1,62 @@
+// Copyright (c) Maimon-cpp authors. Licensed under the MIT license.
+
+#include "join/join_tree.h"
+
+namespace maimon {
+
+JoinTree BuildMaxOverlapJoinTree(const std::vector<AttrSet>& rels) {
+  JoinTree tree;
+  const size_t m = rels.size();
+  tree.parent.assign(m, -1);
+  tree.children.resize(m);
+  if (m == 0) return tree;
+
+  // Prim over overlap weights, rooted at relation 0. The scan picks the
+  // first maximum, so ties resolve to the lowest index deterministically.
+  std::vector<bool> in_tree(m, false);
+  std::vector<int> best_link(m, 0);
+  std::vector<int> best_weight(m, -1);
+  in_tree[0] = true;
+  for (size_t j = 1; j < m; ++j) {
+    best_link[j] = 0;
+    best_weight[j] = rels[j].Intersect(rels[0]).Count();
+  }
+  for (size_t round = 1; round < m; ++round) {
+    int pick = -1, w = -1;
+    for (size_t j = 0; j < m; ++j) {
+      if (!in_tree[j] && best_weight[j] > w) {
+        w = best_weight[j];
+        pick = static_cast<int>(j);
+      }
+    }
+    in_tree[static_cast<size_t>(pick)] = true;
+    tree.parent[static_cast<size_t>(pick)] =
+        best_link[static_cast<size_t>(pick)];
+    for (size_t j = 0; j < m; ++j) {
+      if (!in_tree[j]) {
+        const int overlap =
+            rels[j].Intersect(rels[static_cast<size_t>(pick)]).Count();
+        if (overlap > best_weight[j]) {
+          best_weight[j] = overlap;
+          best_link[j] = pick;
+        }
+      }
+    }
+  }
+
+  for (size_t j = 1; j < m; ++j) {
+    tree.children[static_cast<size_t>(tree.parent[j])].push_back(
+        static_cast<int>(j));
+  }
+  tree.preorder.reserve(m);
+  std::vector<int> stack = {0};
+  while (!stack.empty()) {
+    const int v = stack.back();
+    stack.pop_back();
+    tree.preorder.push_back(v);
+    for (int c : tree.children[static_cast<size_t>(v)]) stack.push_back(c);
+  }
+  return tree;
+}
+
+}  // namespace maimon

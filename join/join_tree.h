@@ -1,0 +1,62 @@
+// Copyright (c) Maimon-cpp authors. Licensed under the MIT license.
+//
+// JoinTree: the maximum-overlap spanning tree over a schema's relations.
+// For an acyclic (GYO-reducible) schema this tree satisfies the running
+// intersection property (Bernstein & Goodman), so it is a valid join tree:
+// every parent/child separator is exactly the shared attribute set, and
+// joining along tree edges equals the full natural join. Both consumers —
+// the analytic counting DP in join/metrics.cc and the materialized
+// Yannakakis executor in decomp/yannakakis.cc — build their tree here, so
+// the empirical-vs-analytic differential audits the counting, never a tree
+// disagreement.
+
+#ifndef MAIMON_JOIN_JOIN_TREE_H_
+#define MAIMON_JOIN_JOIN_TREE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "util/attr_set.h"
+
+namespace maimon {
+
+struct JoinTree {
+  /// parent[v] is v's parent index; -1 at the root (relation 0).
+  std::vector<int> parent;
+  std::vector<std::vector<int>> children;
+  /// Root-first DFS order: every node appears after its parent.
+  std::vector<int> preorder;
+
+  size_t NumNodes() const { return parent.size(); }
+};
+
+/// Builds the maximum-overlap spanning tree (Prim, rooted at relation 0)
+/// over `rels`. Deterministic: ties break on the lowest relation index, so
+/// every caller sees the identical tree for the same relation list.
+JoinTree BuildMaxOverlapJoinTree(const std::vector<AttrSet>& rels);
+
+/// Byte-packed key of the `positions`-projection of `tuple` — the hash key
+/// both join implementations use for separator matching.
+inline std::string PackTupleKey(const std::vector<uint32_t>& tuple,
+                                const std::vector<int>& positions) {
+  std::string key(positions.size() * sizeof(uint32_t), '\0');
+  for (size_t i = 0; i < positions.size(); ++i) {
+    std::memcpy(&key[i * sizeof(uint32_t)],
+                &tuple[static_cast<size_t>(positions[i])], sizeof(uint32_t));
+  }
+  return key;
+}
+
+/// Full-width key: every position of `tuple` in order, one memcpy. Packs
+/// the same bytes as PackTupleKey with the identity position list, without
+/// materializing that list — the executor's per-row hot path.
+inline std::string PackFullTupleKey(const std::vector<uint32_t>& tuple) {
+  return std::string(reinterpret_cast<const char*>(tuple.data()),
+                     tuple.size() * sizeof(uint32_t));
+}
+
+}  // namespace maimon
+
+#endif  // MAIMON_JOIN_JOIN_TREE_H_

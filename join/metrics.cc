@@ -2,25 +2,15 @@
 
 #include "join/metrics.h"
 
-#include <cstring>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "join/join_tree.h"
+
 namespace maimon {
 namespace {
-
-// Byte-packed tuple key for hashing projected rows.
-std::string PackKey(const std::vector<uint32_t>& tuple,
-                    const std::vector<int>& positions) {
-  std::string key(positions.size() * sizeof(uint32_t), '\0');
-  for (size_t i = 0; i < positions.size(); ++i) {
-    std::memcpy(&key[i * sizeof(uint32_t)],
-                &tuple[static_cast<size_t>(positions[i])], sizeof(uint32_t));
-  }
-  return key;
-}
 
 struct ProjectedRelation {
   std::vector<int> attrs;                      // original column indices
@@ -79,54 +69,11 @@ SchemaReport EvaluateSchema(const Relation& relation, const Schema& schema,
       100.0 * (1.0 - static_cast<double>(projected_cells) /
                          static_cast<double>(original_cells));
 
-  // Join tree: maximum-overlap spanning tree (Prim).
-  std::vector<int> parent(m, -1);
-  std::vector<bool> in_tree(m, false);
-  std::vector<int> best_link(m, 0);
-  std::vector<int> best_weight(m, -1);
-  in_tree[0] = true;
-  for (size_t j = 1; j < m; ++j) {
-    best_link[j] = 0;
-    best_weight[j] = rels[j].Intersect(rels[0]).Count();
-  }
-  for (size_t round = 1; round < m; ++round) {
-    int pick = -1, w = -1;
-    for (size_t j = 0; j < m; ++j) {
-      if (!in_tree[j] && best_weight[j] > w) {
-        w = best_weight[j];
-        pick = static_cast<int>(j);
-      }
-    }
-    in_tree[static_cast<size_t>(pick)] = true;
-    parent[static_cast<size_t>(pick)] = best_link[static_cast<size_t>(pick)];
-    for (size_t j = 0; j < m; ++j) {
-      if (!in_tree[j]) {
-        const int overlap =
-            rels[j].Intersect(rels[static_cast<size_t>(pick)]).Count();
-        if (overlap > best_weight[j]) {
-          best_weight[j] = overlap;
-          best_link[j] = pick;
-        }
-      }
-    }
-  }
-
-  // Children lists + a post-order (tree rooted at relation 0).
-  std::vector<std::vector<int>> children(m);
-  for (size_t j = 1; j < m; ++j) {
-    children[static_cast<size_t>(parent[j])].push_back(static_cast<int>(j));
-  }
-  std::vector<int> order;
-  order.reserve(m);
-  {
-    std::vector<int> stack = {0};
-    while (!stack.empty()) {
-      const int v = stack.back();
-      stack.pop_back();
-      order.push_back(v);
-      for (int c : children[static_cast<size_t>(v)]) stack.push_back(c);
-    }
-  }
+  // Join tree: the shared maximum-overlap spanning tree (join/join_tree.h).
+  const JoinTree tree = BuildMaxOverlapJoinTree(rels);
+  const std::vector<int>& parent = tree.parent;
+  const std::vector<std::vector<int>>& children = tree.children;
+  const std::vector<int>& order = tree.preorder;
 
   // J(S): each tree edge contributes I(subtree attrs ; rest | separator).
   const AttrSet universe = schema.UniverseAttrs();
@@ -176,13 +123,13 @@ SchemaReport EvaluateSchema(const Relation& relation, const Schema& schema,
       for (size_t k = 0; k < children[static_cast<size_t>(v)].size(); ++k) {
         const int c = children[static_cast<size_t>(v)][k];
         const auto& msg = message[static_cast<size_t>(c)];
-        const auto it = msg.find(PackKey(tuple, child_pos[k]));
+        const auto it = msg.find(PackTupleKey(tuple, child_pos[k]));
         weight *= it == msg.end() ? 0.0 : it->second;
         if (weight == 0.0) break;
       }
       if (weight == 0.0) continue;
       if (parent[static_cast<size_t>(v)] >= 0) {
-        message[static_cast<size_t>(v)][PackKey(tuple, up_pos)] += weight;
+        message[static_cast<size_t>(v)][PackTupleKey(tuple, up_pos)] += weight;
       } else {
         total += weight;
       }

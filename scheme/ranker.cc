@@ -3,10 +3,14 @@
 #include "scheme/ranker.h"
 
 #include <algorithm>
+#include <memory>
 #include <string>
 #include <utility>
+#include <vector>
 
+#include "entropy/pli_engine.h"
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace maimon {
 namespace {
@@ -51,6 +55,15 @@ bool Better(const Scored& a, const Scored& b, RankKey primary) {
   return a.canonical < b.canonical;
 }
 
+Scored ScoreOne(const Relation& relation, const MinedSchema& s,
+                const InfoCalc& oracle) {
+  RankedScheme ranked;
+  ranked.schema = s.schema;
+  ranked.derivation_j = s.j_measure;
+  ranked.report = EvaluateSchema(relation, s.schema, oracle);
+  return {std::move(ranked), s.schema.ToString()};
+}
+
 }  // namespace
 
 RankResult RankSchemes(const Relation& relation,
@@ -60,18 +73,52 @@ RankResult RankSchemes(const Relation& relation,
   const Deadline deadline = options.budget_seconds > 0
                                 ? Deadline::After(options.budget_seconds)
                                 : Deadline::Infinite();
+
+  // Scores land indexed by scheme (never by worker), so the collected list
+  // below is in scheme-input order for every thread count. `done` marks
+  // the scored set when the deadline cuts the sweep short — always a
+  // prefix, pooled or not: ParallelFor claims indices from one fetch_add
+  // counter and every claimed index runs to completion before it returns.
+  std::vector<Scored> scored_by_index(schemes.size());
+  std::vector<unsigned char> done(schemes.size(), 0);
+
+  const int threads = std::min<int>(
+      ResolveNumThreads(options.num_threads),
+      static_cast<int>(std::max<size_t>(schemes.size(), 1)));
+  auto* pli = dynamic_cast<PliEntropyEngine*>(oracle.engine());
+  bool completed = true;
+  if (threads > 1 && pli != nullptr) {
+    // Each shard scores on a forked engine (shared immutable core, private
+    // cache slice) — entropies are exact regardless of cache state, so the
+    // per-scheme reports are identical to the inline path's.
+    std::vector<EngineShard> shards = MakeEngineShards(*pli, threads);
+    ThreadPool pool(threads);
+    completed = ParallelFor(&pool, threads, schemes.size(), &deadline,
+                            [&](int shard, size_t i) {
+                              scored_by_index[i] = ScoreOne(
+                                  relation, schemes[i],
+                                  *shards[static_cast<size_t>(shard)].calc);
+                              done[i] = 1;
+                            })
+                    .completed;
+    for (const EngineShard& shard : shards) pli->MergeStats(*shard.engine);
+  } else {
+    completed = ParallelFor(nullptr, 1, schemes.size(), &deadline,
+                            [&](int, size_t i) {
+                              scored_by_index[i] =
+                                  ScoreOne(relation, schemes[i], oracle);
+                              done[i] = 1;
+                            })
+                    .completed;
+  }
+  if (!completed) {
+    result.status = Status::DeadlineExceeded("scheme ranking budget");
+  }
+
   std::vector<Scored> scored;
   scored.reserve(schemes.size());
-  for (const MinedSchema& s : schemes) {
-    if (deadline.Expired()) {
-      result.status = Status::DeadlineExceeded("scheme ranking budget");
-      break;
-    }
-    RankedScheme ranked;
-    ranked.schema = s.schema;
-    ranked.derivation_j = s.j_measure;
-    ranked.report = EvaluateSchema(relation, s.schema, oracle);
-    scored.push_back({std::move(ranked), s.schema.ToString()});
+  for (size_t i = 0; i < schemes.size(); ++i) {
+    if (done[i]) scored.push_back(std::move(scored_by_index[i]));
   }
   result.evaluated = scored.size();
 

@@ -32,6 +32,13 @@ struct RankerOptions {
   RankKey primary = RankKey::kJMeasure;
   /// Wall-clock budget for scoring; <= 0 means unbounded.
   double budget_seconds = 0.0;
+  /// Worker threads for per-scheme S/E/J scoring: 1 = inline on the
+  /// caller's oracle, 0 = hardware_concurrency, N = exactly N. Scoring is
+  /// sharded over forked engine workers (the same fork/merge protocol as
+  /// MVD mining) and merged in scheme-input order, so the ranked output is
+  /// byte-identical at any thread count. Falls back to inline when the
+  /// oracle's engine is not a PliEntropyEngine (nothing to fork).
+  int num_threads = 1;
 };
 
 struct RankedScheme {
@@ -49,6 +56,8 @@ struct RankResult {
 /// Scores every scheme (until the budget runs out) and returns the top-k
 /// under `options.primary`, with the remaining two metrics as tiebreakers
 /// and the canonical schema string as the final deterministic tiebreak.
+/// With options.num_threads != 1 the scoring loop shards across a thread
+/// pool; scores land indexed by scheme, so ranking stays deterministic.
 RankResult RankSchemes(const Relation& relation,
                        const std::vector<MinedSchema>& schemes,
                        const InfoCalc& oracle, const RankerOptions& options);

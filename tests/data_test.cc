@@ -4,9 +4,13 @@
 // registry, and the structural facts the bench comments promise (Nursery's
 // 12,960 x 9 product with a determined class column).
 
+#include <cstdio>
+#include <string>
+
 #include "data/metanome_shapes.h"
 #include "data/nursery.h"
 #include "data/planted.h"
+#include "data/relation_io.h"
 #include "entropy/pli_engine.h"
 #include "tests/test_util.h"
 
@@ -83,6 +87,56 @@ TEST_CASE(ShapeRegistryCoversBenchDatasets) {
   const PlantedDataset scaled = GenerateShaped(*FindShape("Adult"), 0.01);
   CHECK_EQ(scaled.relation.NumCols(), 14);
   CHECK(scaled.relation.NumRows() <= 489);
+}
+
+TEST_CASE(CsvRoundTripsExactly) {
+  PlantedSpec spec;
+  spec.num_attrs = 5;
+  spec.root_rows = 32;
+  spec.max_rows = 128;
+  spec.noise_fraction = 0.1;
+  spec.seed = 19;
+  const Relation r = GeneratePlanted(spec).relation;
+
+  const std::string path = "data_test_roundtrip.csv";
+  CHECK(ExportCsv(r, path).ok());
+  Relation back;
+  std::vector<std::string> header;
+  CHECK(ImportCsv(path, &back, &header).ok());
+  std::remove(path.c_str());
+
+  // Codes are preserved verbatim: column-identical data, default header.
+  CHECK_EQ(header, DefaultColumnNames(r.NumCols()));
+  CHECK_EQ(back.NumRows(), r.NumRows());
+  CHECK_EQ(back.NumCols(), r.NumCols());
+  for (int c = 0; c < r.NumCols(); ++c) {
+    CHECK_EQ(back.Column(c), r.Column(c));
+    // Imported domains tighten to the observed maximum but stay valid.
+    CHECK(back.DomainSize(c) <= r.DomainSize(c));
+  }
+
+  // Custom header names survive the round trip too.
+  CHECK(ExportCsv(r, path, {"v", "w", "x", "y", "z"}).ok());
+  CHECK(ImportCsv(path, &back, &header).ok());
+  std::remove(path.c_str());
+  CHECK_EQ(header, (std::vector<std::string>{"v", "w", "x", "y", "z"}));
+
+  // Malformed inputs are rejected, not mangled.
+  CHECK(!ExportCsv(r, path, {"only-one-name"}).ok());
+  CHECK(!ImportCsv("no_such_file.csv", &back).ok());
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("A,B\n1,2\n3\n", f);  // ragged row
+    std::fclose(f);
+  }
+  CHECK(!ImportCsv(path, &back).ok());
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("A,B\n1,oops\n", f);  // non-integer cell
+    std::fclose(f);
+  }
+  CHECK(!ImportCsv(path, &back).ok());
+  std::remove(path.c_str());
 }
 
 TEST_CASE(NurseryMatchesThePaperShape) {

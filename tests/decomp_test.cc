@@ -1,0 +1,288 @@
+// Copyright (c) Maimon-cpp authors. Licensed under the MIT license.
+//
+// The decomposition runtime's contracts (decomp/):
+//
+//   * planted bag chains at eps = 0 reconstruct the original relation
+//     exactly — zero spurious tuples, join == r under set semantics;
+//   * on every <= 10-attribute fixture (clean bag chains, noisy variants,
+//     a Nursery sample) and every mined top-k scheme, the materialized
+//     Yannakakis |join| equals SchemaReport::join_rows from the analytic
+//     counting DP exactly — the two counts come from independent code
+//     paths, so this differential is the system's strongest correctness
+//     oracle;
+//   * join ⊇ r holds at any eps (hard invariant);
+//   * the projection store's accounting reproduces the analytic savings S;
+//   * deadline expiry mid-join returns a partial audit with
+//     kDeadlineExceeded; cyclic schemas are rejected up front.
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "core/maimon.h"
+#include "data/nursery.h"
+#include "data/planted.h"
+#include "decomp/projection_store.h"
+#include "decomp/yannakakis.h"
+#include "scheme/assembler.h"
+#include "scheme/ranker.h"
+#include "tests/test_util.h"
+
+namespace maimon {
+namespace {
+
+PlantedDataset MakePlanted(int attrs, int bags, uint64_t seed,
+                           double noise = 0.0) {
+  PlantedSpec spec;
+  spec.num_attrs = attrs;
+  spec.num_bags = bags;
+  spec.root_rows = 128;
+  spec.max_rows = 512;
+  spec.noise_fraction = noise;
+  spec.domain_size = 8;
+  spec.seed = seed;
+  return GeneratePlanted(spec);
+}
+
+// Audits `schema` directly against `relation` (fresh engine + oracle).
+DecompositionAudit AuditSchema(const Relation& relation, const Schema& schema,
+                               const DecompAuditOptions& options =
+                                   DecompAuditOptions()) {
+  PliEntropyEngine engine(relation);
+  InfoCalc oracle(&engine);
+  return DecomposeAndAudit(relation, schema, oracle, options);
+}
+
+// The planted ground truth as an acyclic scheme: the support MVDs applied
+// as join-tree splits. (The bags alone are a disjoint attribute partition —
+// only the chain separators turn them into a connected schema.)
+Schema PlantedScheme(const PlantedDataset& d, const InfoCalc& oracle) {
+  SchemeAssembler assembler(&oracle, d.relation.Universe());
+  std::vector<const Mvd*> mvds;
+  for (const Mvd& m : d.schema.Support()) mvds.push_back(&m);
+  Schema out;
+  assembler.Assemble(mvds, /*emit_intermediates=*/false, nullptr,
+                     [&](AssembledScheme&& s) {
+                       out = s.schema;
+                       return true;
+                     });
+  return out;
+}
+
+TEST_CASE(PlantedBagChainAtEpsZeroReconstructsExactly) {
+  for (uint64_t seed : {1u, 9u, 23u}) {
+    const PlantedDataset d = MakePlanted(9, 3, seed);
+    PliEntropyEngine engine(d.relation);
+    InfoCalc oracle(&engine);
+    // At zero noise the planted scheme's join must reproduce the relation
+    // with nothing spurious.
+    const Schema schema = PlantedScheme(d, oracle);
+    CHECK_EQ(schema.NumRelations(), 3);
+    CHECK(schema.IsAcyclic());
+    const DecompositionAudit audit =
+        DecomposeAndAudit(d.relation, schema, oracle);
+    CHECK(audit.status.ok());
+    CHECK(audit.contains_original);
+    CHECK(audit.exact);
+    CHECK_EQ(audit.spurious, uint64_t{0});
+    CHECK_EQ(audit.join_rows, audit.original_distinct);
+    CHECK(audit.matches_analytic);
+    // J == 0 on the noise-free instance, and the audit agrees: exact.
+    CHECK_NEAR(audit.analytic.j_measure, 0.0, 1e-9);
+    // Store accounting reproduces the analytic savings bit-for-bit (both
+    // compute 100 * (1 - cells/cells) from the same distinct counts).
+    CHECK_NEAR(audit.savings_pct, audit.analytic.savings_pct, 1e-12);
+    CHECK_EQ(audit.projections.size(), static_cast<size_t>(schema.NumRelations()));
+  }
+}
+
+TEST_CASE(EveryMinedTopKSchemeMatchesTheCountingDp) {
+  // The acceptance differential: <= 10-attribute fixtures — clean bag
+  // chains, noisy variants, and a Nursery sample — mined end to end; every
+  // ranked scheme's materialized |join| must equal the analytic DP count
+  // exactly, and join ⊇ r must hold at every eps.
+  struct Fixture {
+    Relation relation;
+    double eps;
+  };
+  std::vector<Fixture> fixtures;
+  fixtures.push_back({MakePlanted(8, 3, 5).relation, 0.0});
+  fixtures.push_back({MakePlanted(10, 3, 7).relation, 0.0});
+  fixtures.push_back({MakePlanted(8, 3, 11, /*noise=*/0.02).relation, 0.1});
+  fixtures.push_back({MakePlanted(9, 2, 13, /*noise=*/0.1).relation, 0.2});
+  fixtures.push_back({NurseryDataset().SampleRows(0.05, 3), 0.3});
+
+  for (const Fixture& fixture : fixtures) {
+    MaimonConfig config;
+    config.epsilon = fixture.eps;
+    config.mvd_budget_seconds = 10.0;
+    config.schema_budget_seconds = 10.0;
+    config.schemas.max_schemas = 32;
+    config.mvd.max_full_mvds_per_separator = 3;
+    Maimon maimon(fixture.relation, config);
+    const AsMinerResult schemas = maimon.MineSchemas();
+    CHECK(!schemas.schemas.empty());
+
+    RankerOptions rank;
+    rank.top_k = 8;
+    const RankResult ranked = RankSchemes(fixture.relation, schemas.schemas,
+                                          maimon.oracle(), rank);
+    CHECK(!ranked.ranked.empty());
+    for (const RankedScheme& s : ranked.ranked) {
+      const MinedSchema mined{s.schema, s.report.j_measure};
+      const DecompositionAudit audit = maimon.DecomposeAndAudit(mined);
+      CHECK(audit.status.ok());
+      CHECK(audit.matches_analytic);  // |join| == counting DP, exactly
+      CHECK(audit.contains_original);  // join ⊇ r at any eps
+      // The audit's analytic side is the same DP the ranker scored with.
+      CHECK_EQ(audit.analytic.join_rows, s.report.join_rows);
+      CHECK_NEAR(audit.savings_pct, s.report.savings_pct, 1e-12);
+      // E consistency: spurious count and rate describe the same join.
+      if (audit.join_rows > 0) {
+        const double e_emp = 100.0 * static_cast<double>(audit.spurious) /
+                             static_cast<double>(audit.join_rows);
+        CHECK_NEAR(e_emp, audit.analytic.spurious_pct, 1e-9);
+      }
+    }
+  }
+}
+
+TEST_CASE(MaterializedJoinIsTheStreamedCountAndASupersetOfR) {
+  // Hand-computed star schema [AB][AC][AD]: for A=0 the projections hold
+  // B in {0,1}, C in {0}, D in {0,1} — the join is the 4-row product, the
+  // original has 3 of those rows, so exactly 1 tuple is spurious.
+  const std::vector<std::vector<uint32_t>> rows = {
+      {0, 0, 0, 0}, {0, 1, 0, 1}, {0, 0, 0, 1}};
+  const Relation r = Relation::FromRows(rows, 4);
+  const Schema schema({AttrSet(0b0011), AttrSet(0b0101), AttrSet(0b1001)});
+  CHECK(schema.IsAcyclic());
+
+  DecompAuditOptions options;
+  options.materialize = true;
+  const DecompositionAudit audit = AuditSchema(r, schema, options);
+  CHECK(audit.status.ok());
+  CHECK_EQ(audit.join_rows, uint64_t{4});
+  CHECK_EQ(audit.spurious, uint64_t{1});
+  CHECK(audit.contains_original);
+  CHECK(!audit.exact);
+  CHECK(audit.matches_analytic);
+  CHECK_EQ(audit.semijoin_dropped, uint64_t{0});
+
+  // The materialized tuples agree with the streamed count and contain
+  // every original row; columns come back in ascending original order.
+  CHECK_EQ(audit.join.tuples.size(), static_cast<size_t>(audit.join_rows));
+  CHECK_EQ(audit.join.columns, (std::vector<int>{0, 1, 2, 3}));
+  std::set<std::vector<uint32_t>> joined(audit.join.tuples.begin(),
+                                         audit.join.tuples.end());
+  CHECK_EQ(joined.size(), size_t{4});
+  for (const auto& row : rows) CHECK(joined.count(row) == 1);
+  CHECK(joined.count({0, 1, 0, 0}) == 1);  // the one spurious tuple
+}
+
+TEST_CASE(SemijoinReducerDropsDanglingImportedTuples) {
+  // Projections built from one relation are always globally consistent, so
+  // the reducer only earns its keep on foreign (imported) stores: here
+  // [AB] carries a B value absent from [BC], which must be dropped before
+  // the join and never surface in a result row.
+  StoredProjection ab;
+  ab.attrs = AttrSet(0b011);
+  ab.columns = {0, 1};
+  ab.rows = {{0, 0}, {1, 7}};
+  ab.domains = {2, 8};
+  StoredProjection bc;
+  bc.attrs = AttrSet(0b110);
+  bc.columns = {1, 2};
+  bc.rows = {{0, 2}};
+  bc.domains = {8, 3};
+  const ProjectionStore store({ab, bc}, /*original_cells=*/0);
+
+  YannakakisExecutor executor(store);
+  const JoinResult join = executor.Execute(YannakakisOptions{true, nullptr});
+  CHECK(join.status.ok());
+  CHECK_EQ(join.rows, uint64_t{1});
+  CHECK_EQ(join.tuples.size(), size_t{1});
+  CHECK_EQ(join.tuples[0], (std::vector<uint32_t>{0, 0, 2}));
+  CHECK_EQ(executor.semijoin_dropped(), uint64_t{1});
+}
+
+TEST_CASE(DeadlineExpiryMidJoinReturnsPartialAudit) {
+  const PlantedDataset d = MakePlanted(9, 3, 31, /*noise=*/0.1);
+  PliEntropyEngine engine(d.relation);
+  InfoCalc oracle(&engine);
+  const Schema schema = PlantedScheme(d, oracle);
+  DecompAuditOptions options;
+  options.budget_seconds = 1e-9;  // expires before the first reducer pass
+  const DecompositionAudit audit =
+      DecomposeAndAudit(d.relation, schema, oracle, options);
+  CHECK(audit.status.IsDeadlineExceeded());
+  // Partial audits never claim a verdict...
+  CHECK(!audit.exact);
+  CHECK(!audit.matches_analytic);
+  CHECK(!audit.contains_original);
+  // ...but the analytic side and the store accounting are complete.
+  CHECK(audit.analytic.join_rows > 0.0);
+  CHECK_EQ(audit.projections.size(), static_cast<size_t>(schema.NumRelations()));
+}
+
+TEST_CASE(CyclicAndEmptySchemasAreRejected) {
+  const Relation r = Relation::FromRows({{0, 0, 0}, {1, 1, 1}}, 3);
+  // [AB][BC][CA] is the canonical cyclic triangle: GYO finds no ear.
+  const Schema cyclic({AttrSet(0b011), AttrSet(0b110), AttrSet(0b101)});
+  CHECK(!cyclic.IsAcyclic());
+  CHECK_EQ(AuditSchema(r, cyclic).status.code(),
+           Status::Code::kInvalidArgument);
+  CHECK_EQ(AuditSchema(r, Schema()).status.code(),
+           Status::Code::kInvalidArgument);
+}
+
+TEST_CASE(ProjectionStoreAccountingAndExport) {
+  const PlantedDataset d = MakePlanted(8, 2, 41);
+  const Schema schema(d.schema.Bags());
+  const ProjectionStore store(d.relation, schema);
+  CHECK_EQ(store.NumProjections(), static_cast<size_t>(schema.NumRelations()));
+
+  size_t rows = 0, cells = 0, bytes = 0;
+  for (const StoredProjection& p : store.projections()) {
+    CHECK(p.NumRows() > 0);
+    CHECK(p.NumRows() <= d.relation.NumRows());
+    CHECK_EQ(p.Cells(), p.NumRows() * p.columns.size());
+    CHECK_EQ(p.Bytes(), p.Cells() * sizeof(uint32_t));
+    rows += p.NumRows();
+    cells += p.Cells();
+    bytes += p.Bytes();
+
+    // ToRelation round-trips the stored rows (codes preserved verbatim).
+    const Relation rel = p.ToRelation();
+    CHECK_EQ(rel.NumRows(), p.NumRows());
+    CHECK_EQ(rel.NumCols(), static_cast<int>(p.columns.size()));
+    for (size_t t = 0; t < p.rows.size(); ++t) {
+      for (size_t c = 0; c < p.columns.size(); ++c) {
+        CHECK_EQ(rel.Value(t, static_cast<int>(c)), p.rows[t][c]);
+      }
+    }
+  }
+  CHECK_EQ(store.TotalRows(), rows);
+  CHECK_EQ(store.TotalCells(), cells);
+  CHECK_EQ(store.TotalBytes(), bytes);
+
+  // A single-relation schema stores exactly the distinct original rows.
+  const ProjectionStore whole(d.relation, Schema(d.relation.Universe()));
+  CHECK_EQ(whole.NumProjections(), size_t{1});
+  CHECK(whole.projections()[0].NumRows() <= d.relation.NumRows());
+}
+
+TEST_CASE(SingleRelationSchemaJoinsToItself) {
+  const PlantedDataset d = MakePlanted(6, 2, 47, /*noise=*/0.05);
+  const DecompositionAudit audit =
+      AuditSchema(d.relation, Schema(d.relation.Universe()));
+  CHECK(audit.status.ok());
+  CHECK(audit.exact);
+  CHECK_EQ(audit.spurious, uint64_t{0});
+  CHECK(audit.matches_analytic);
+  CHECK_EQ(audit.join_rows, audit.original_distinct);
+}
+
+}  // namespace
+}  // namespace maimon
+
+TEST_MAIN()

@@ -221,6 +221,61 @@ TEST_CASE(MiningIsThreadCountInvariant) {
   }
 }
 
+TEST_CASE(RankingIsThreadCountInvariant) {
+  // Per-scheme S/E/J scoring shards over the pool the same way MVD mining
+  // does (forked engine workers, results indexed by scheme); the ranked
+  // output must be byte-identical at any thread count — same order, same
+  // exact metric values, same evaluated count.
+  const PlantedDataset d = MakePlanted(8, 3, 21, /*noise=*/0.02);
+  MaimonConfig config;
+  config.epsilon = 0.05;
+  config.schemas.max_schemas = 64;
+  Maimon maimon(d.relation, config);
+  const AsMinerResult schemas = maimon.MineSchemas();
+  CHECK(schemas.schemas.size() > 1);  // real work to spread across shards
+
+  RankerOptions options;
+  options.top_k = 16;
+  options.primary = RankKey::kSavings;
+  const RankResult base =
+      RankSchemes(d.relation, schemas.schemas, maimon.oracle(), options);
+  CHECK(base.status.ok());
+  CHECK_EQ(base.evaluated, schemas.schemas.size());
+  CHECK(!base.ranked.empty());
+
+  for (int threads : {2, 8}) {
+    options.num_threads = threads;
+    const RankResult result =
+        RankSchemes(d.relation, schemas.schemas, maimon.oracle(), options);
+    CHECK(result.status.ok());
+    CHECK_EQ(result.evaluated, base.evaluated);
+    CHECK_EQ(result.ranked.size(), base.ranked.size());
+    for (size_t i = 0; i < base.ranked.size(); ++i) {
+      CHECK(result.ranked[i].schema == base.ranked[i].schema);
+      // Exact double equality: shards run the identical arithmetic over
+      // the same immutable partitions, so the scores cannot drift.
+      CHECK_EQ(result.ranked[i].report.j_measure,
+               base.ranked[i].report.j_measure);
+      CHECK_EQ(result.ranked[i].report.savings_pct,
+               base.ranked[i].report.savings_pct);
+      CHECK_EQ(result.ranked[i].report.spurious_pct,
+               base.ranked[i].report.spurious_pct);
+      CHECK_EQ(result.ranked[i].report.join_rows,
+               base.ranked[i].report.join_rows);
+      CHECK_EQ(result.ranked[i].derivation_j, base.ranked[i].derivation_j);
+    }
+  }
+
+  // An already-expired budget returns the partial (empty) prefix with
+  // kDeadlineExceeded through the pool path too.
+  options.num_threads = 4;
+  options.budget_seconds = 1e-9;
+  const RankResult expired =
+      RankSchemes(d.relation, schemas.schemas, maimon.oracle(), options);
+  CHECK(expired.status.IsDeadlineExceeded());
+  CHECK(expired.evaluated < schemas.schemas.size());
+}
+
 TEST_CASE(ParallelMiningHonorsTheGlobalBudget) {
   // A wide noisy relation with a near-zero budget must come back quickly
   // with DeadlineExceeded through the pool path too.
