@@ -6,13 +6,26 @@
 // cached stripped-partition intersections is what makes MVDMiner feasible:
 // the PLI engine amortizes to microseconds per query once warm, while the
 // naive engine pays a full scan per distinct attribute set.
+//
+// `--hitrate` switches to a counter-based mode (no google-benchmark
+// timing): the same query mix is swept by N workers twice, once over the
+// shared concurrent cache (engine forks, one global budget) and once over
+// per-worker engines each holding a 1/N slice of the budget — the old
+// fork/merge design this repo replaced. One JSONL line per (mode, threads)
+// on stdout; EXPERIMENTS.md's thread-scaling table is generated from it.
 
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
 
 #include "data/planted.h"
 #include "entropy/naive_engine.h"
 #include "entropy/pli_engine.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace maimon {
 namespace {
@@ -130,7 +143,106 @@ void BM_PartitionIntersect(benchmark::State& state) {
 }
 BENCHMARK(BM_PartitionIntersect)->Arg(4096)->Arg(65536)->Arg(1 << 20);
 
+// One worker's share of the query mix: indices congruent to `worker` mod
+// `threads` — deterministic, balanced, and identical across the two modes.
+uint64_t RunWorkerSlice(PliEntropyEngine* engine,
+                        const std::vector<AttrSet>& queries, int worker,
+                        int threads) {
+  uint64_t ran = 0;
+  for (size_t i = static_cast<size_t>(worker); i < queries.size();
+       i += static_cast<size_t>(threads)) {
+    engine->Entropy(queries[i]);
+    ++ran;
+  }
+  return ran;
+}
+
+int RunHitRateMode(int cols, int rows, int num_queries) {
+  const Relation r = MakeRelation(cols, rows, 1);
+  const std::vector<AttrSet> queries = QueryMix(cols, num_queries, 2);
+  const size_t budget = PliEngineOptions().cache_capacity_bytes;
+
+  for (int threads : {1, 2, 4, 8}) {
+    // Shared concurrent cache: forks are handles onto one budget.
+    {
+      PliEntropyEngine engine(r);
+      auto forks = engine.ForkShards(threads);
+      ThreadPool pool(threads);
+      ParallelFor(&pool, threads, static_cast<size_t>(threads), nullptr,
+                  [&](int, size_t w) {
+                    RunWorkerSlice(forks[w].get(), queries,
+                                   static_cast<int>(w), threads);
+                  });
+      for (auto& fork : forks) engine.MergeStats(*fork);
+      const auto s = engine.stats();
+      const uint64_t hits = s.value_hits + s.cache.hits;
+      const uint64_t lookups = hits + s.cache.misses;
+      std::printf(
+          "{\"bench\": \"hitrate\", \"mode\": \"shared\", \"threads\": %d, "
+          "\"cols\": %d, \"rows\": %d, \"queries\": %d, \"hits\": %llu, "
+          "\"lookups\": %llu, \"hit_rate\": %.4f, \"budget_bytes\": %zu, "
+          "\"resident_bytes\": %zu}\n",
+          threads, cols, rows, num_queries,
+          static_cast<unsigned long long>(hits),
+          static_cast<unsigned long long>(lookups),
+          lookups ? static_cast<double>(hits) / static_cast<double>(lookups)
+                  : 0.0,
+          budget, engine.cache().bytes());
+    }
+    // Sliced caches: the replaced design — each worker a private engine
+    // holding 1/N of the byte budget, no cross-worker reuse.
+    {
+      std::vector<std::unique_ptr<PliEntropyEngine>> workers;
+      for (int w = 0; w < threads; ++w) {
+        PliEngineOptions opt;
+        opt.cache_capacity_bytes = budget / static_cast<size_t>(threads);
+        workers.push_back(std::make_unique<PliEntropyEngine>(r, opt));
+      }
+      ThreadPool pool(threads);
+      ParallelFor(&pool, threads, static_cast<size_t>(threads), nullptr,
+                  [&](int, size_t w) {
+                    RunWorkerSlice(workers[w].get(), queries,
+                                   static_cast<int>(w), threads);
+                  });
+      uint64_t hits = 0, lookups = 0;
+      size_t resident = 0;
+      for (const auto& w : workers) {
+        const auto s = w->stats();
+        hits += s.value_hits + s.cache.hits;
+        lookups += s.value_hits + s.cache.hits + s.cache.misses;
+        resident += w->cache().bytes();
+      }
+      std::printf(
+          "{\"bench\": \"hitrate\", \"mode\": \"sliced\", \"threads\": %d, "
+          "\"cols\": %d, \"rows\": %d, \"queries\": %d, \"hits\": %llu, "
+          "\"lookups\": %llu, \"hit_rate\": %.4f, \"budget_bytes\": %zu, "
+          "\"resident_bytes\": %zu}\n",
+          threads, cols, rows, num_queries,
+          static_cast<unsigned long long>(hits),
+          static_cast<unsigned long long>(lookups),
+          lookups ? static_cast<double>(hits) / static_cast<double>(lookups)
+                  : 0.0,
+          budget, resident);
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace maimon
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  int cols = 12, rows = 16384, queries = 2048;
+  bool hitrate = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--hitrate") == 0) hitrate = true;
+    std::sscanf(argv[i], "--cols=%d", &cols);
+    std::sscanf(argv[i], "--rows=%d", &rows);
+    std::sscanf(argv[i], "--queries=%d", &queries);
+  }
+  if (hitrate) return maimon::RunHitRateMode(cols, rows, queries);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

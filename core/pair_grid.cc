@@ -43,9 +43,9 @@ PairGridRun ForEachPairSharded(
     return run;
   }
 
-  // Each shard owns a forked engine (shared immutable core, private cache
-  // slice + scratch + counters); ParallelFor guarantees one thread per
-  // shard at a time, so the workers run lock-free.
+  // Each shard owns a forked engine handle (shared immutable core, shared
+  // concurrent cache, private scratch + counters); ParallelFor guarantees
+  // one thread per shard at a time, so the handle state needs no locks.
   std::vector<EngineShard> shards = MakeEngineShards(*engine, run.threads_used);
   ThreadPool pool(run.threads_used);
   run.completed =

@@ -4,11 +4,12 @@
 // figure benches drive their per-(a,b)-pair work through this helper, so
 // the runtime the benches measure is exactly the runtime the library
 // ships. The contract mirrors DESIGN.md's concurrency model: workers are
-// engine shards forked off the caller's engine (shared immutable core,
-// private cache slice of the byte budget), each shard is bound to one
-// thread at a time, worker counters are merged back exactly, and the
-// sequential path (resolved thread count 1) runs inline on the caller's
-// engine so its cache stays warm for later phases.
+// engine handles forked off the caller's engine (shared immutable core,
+// shared concurrent cache — one global byte budget, no slices), each
+// handle is bound to one thread at a time, worker counters are merged
+// back exactly, and the sequential path (resolved thread count 1) runs
+// inline on the caller's engine — the shared cache is warm for later
+// phases either way.
 
 #ifndef MAIMON_CORE_PAIR_GRID_H_
 #define MAIMON_CORE_PAIR_GRID_H_

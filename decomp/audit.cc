@@ -44,6 +44,7 @@ DecompositionAudit DecomposeAndAudit(const Relation& relation,
   YannakakisOptions exec_options;
   exec_options.materialize = options.materialize;
   exec_options.deadline = &deadline;
+  exec_options.num_threads = options.num_threads;
   audit.join = executor.Execute(exec_options);
   audit.join_rows = audit.join.rows;
   audit.semijoin_dropped = executor.semijoin_dropped();

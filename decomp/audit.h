@@ -37,6 +37,11 @@ struct DecompAuditOptions {
   /// Retain the joined rows in `join.tuples` (small fixtures only; the
   /// audit itself never needs them).
   bool materialize = false;
+  /// Worker threads for the semijoin reducer (YannakakisOptions semantics:
+  /// 1 = sequential, 0 = all hardware threads). The reduced store and the
+  /// join are byte-identical at any value. Maimon::DecomposeAndAudit
+  /// passes its MaimonConfig::num_threads here.
+  int num_threads = 1;
 };
 
 /// Per-projection accounting (feeds the storage-savings S numerator).

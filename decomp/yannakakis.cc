@@ -3,7 +3,10 @@
 #include "decomp/yannakakis.h"
 
 #include <algorithm>
+#include <atomic>
 #include <utility>
+
+#include "util/thread_pool.h"
 
 namespace maimon {
 namespace {
@@ -65,13 +68,16 @@ void YannakakisExecutor::RebuildKeys(Node* node) const {
   }
 }
 
-Status YannakakisExecutor::Reduce(const Deadline* deadline) {
+Status YannakakisExecutor::Reduce(const Deadline* deadline, int num_threads) {
   if (reduced_) return Status::Ok();
 
   // Semijoin node `v` with the separator keys of `other` (already packed):
-  // keep only tuples whose separator projection appears in `other`.
+  // keep only tuples whose separator projection appears in `other`. Order-
+  // preserving, so the reduced tuple lists are scheduling-independent.
+  // `dropped` is the caller's counter slot (per-node under parallelism).
   const auto semijoin = [&](size_t v, const std::vector<int>& positions,
-                            const std::unordered_set<std::string>& other) {
+                            const std::unordered_set<std::string>& other,
+                            uint64_t* dropped) {
     Node& node = nodes_[v];
     std::vector<std::vector<uint32_t>> kept;
     kept.reserve(node.tuples.size());
@@ -79,7 +85,7 @@ Status YannakakisExecutor::Reduce(const Deadline* deadline) {
       if (other.count(PackTupleKey(tuple, positions)) > 0) {
         kept.push_back(std::move(tuple));
       } else {
-        ++semijoin_dropped_;
+        ++*dropped;
       }
     }
     node.tuples = std::move(kept);
@@ -93,6 +99,103 @@ Status YannakakisExecutor::Reduce(const Deadline* deadline) {
     return keys;
   };
 
+  // Depth levels (parent precedes child in preorder, so one sweep fills
+  // them; a level keeps preorder order). Nodes of one level have disjoint
+  // state and only read levels already final, which is what makes the
+  // level-parallel passes below byte-identical to the sequential ones.
+  std::vector<int> depth(nodes_.size(), 0);
+  size_t widest_level = nodes_.empty() ? 0 : 1;
+  int max_depth = 0;
+  {
+    std::vector<size_t> width(nodes_.size(), 0);
+    for (int pv : tree_.preorder) {
+      const size_t v = static_cast<size_t>(pv);
+      if (tree_.parent[v] >= 0) {
+        depth[v] = depth[static_cast<size_t>(tree_.parent[v])] + 1;
+      }
+      max_depth = std::max(max_depth, depth[v]);
+      widest_level =
+          std::max(widest_level, ++width[static_cast<size_t>(depth[v])]);
+    }
+  }
+  const int threads = static_cast<int>(
+      std::min<size_t>(static_cast<size_t>(ResolveNumThreads(num_threads)),
+                       widest_level));
+
+  if (threads > 1) {
+    std::vector<std::vector<size_t>> levels(static_cast<size_t>(max_depth) + 1);
+    for (int pv : tree_.preorder) {
+      const size_t v = static_cast<size_t>(pv);
+      levels[static_cast<size_t>(depth[v])].push_back(v);
+    }
+    ThreadPool pool(threads);
+    std::vector<uint64_t> dropped(nodes_.size(), 0);
+    std::atomic<bool> expired{false};
+
+    // Leaf-to-root, one level at a time (barrier between levels): the task
+    // for node v filters v against each of its children, whose deeper
+    // level is already final.
+    for (int d = max_depth; d >= 0 && !expired.load(); --d) {
+      const std::vector<size_t>& level = levels[static_cast<size_t>(d)];
+      const ParallelForResult run = ParallelFor(
+          &pool, static_cast<int>(std::min<size_t>(
+                     static_cast<size_t>(threads), level.size())),
+          level.size(), deadline, [&](int, size_t i) {
+            const size_t v = level[i];
+            for (int c : tree_.children[v]) {
+              if (DeadlineExpired(deadline)) {
+                expired.store(true, std::memory_order_relaxed);
+                return;
+              }
+              const size_t cv = static_cast<size_t>(c);
+              const AttrSet sep = nodes_[v].attrs.Intersect(nodes_[cv].attrs);
+              semijoin(v, SharedPositions(nodes_[v].columns, sep),
+                       sep_keys(cv, nodes_[cv].sep_positions), &dropped[v]);
+            }
+          });
+      if (!run.completed) expired.store(true, std::memory_order_relaxed);
+    }
+    if (expired.load()) {
+      for (uint64_t d : dropped) semijoin_dropped_ += d;
+      return Status::DeadlineExceeded("semijoin reducer (leaf-to-root)");
+    }
+
+    // Root-to-leaf: the task for node v filters each of its children
+    // against v (v itself was filtered by its parent one level earlier).
+    for (int d = 0; d < max_depth && !expired.load(); ++d) {
+      const std::vector<size_t>& level = levels[static_cast<size_t>(d)];
+      const ParallelForResult run = ParallelFor(
+          &pool, static_cast<int>(std::min<size_t>(
+                     static_cast<size_t>(threads), level.size())),
+          level.size(), deadline, [&](int, size_t i) {
+            const size_t v = level[i];
+            for (int c : tree_.children[v]) {
+              if (DeadlineExpired(deadline)) {
+                expired.store(true, std::memory_order_relaxed);
+                return;
+              }
+              const size_t cv = static_cast<size_t>(c);
+              const AttrSet sep = nodes_[v].attrs.Intersect(nodes_[cv].attrs);
+              semijoin(cv, nodes_[cv].sep_positions,
+                       sep_keys(v, SharedPositions(nodes_[v].columns, sep)),
+                       &dropped[cv]);
+            }
+          });
+      if (!run.completed) expired.store(true, std::memory_order_relaxed);
+    }
+    for (uint64_t d : dropped) semijoin_dropped_ += d;
+    if (expired.load()) {
+      return Status::DeadlineExceeded("semijoin reducer (root-to-leaf)");
+    }
+
+    // Key rebuild is per-node independent; no deadline here — a partial
+    // key set would corrupt ContainsRow, and the rebuild is linear.
+    ParallelFor(&pool, threads, nodes_.size(), /*deadline=*/nullptr,
+                [&](int, size_t v) { RebuildKeys(&nodes_[v]); });
+    reduced_ = true;
+    return Status::Ok();
+  }
+
   // Leaf-to-root: reverse preorder visits every child before its parent,
   // so each node is filtered against fully-reduced subtrees.
   for (size_t i = tree_.preorder.size(); i-- > 0;) {
@@ -104,7 +207,7 @@ Status YannakakisExecutor::Reduce(const Deadline* deadline) {
       const size_t cv = static_cast<size_t>(c);
       const AttrSet sep = nodes_[v].attrs.Intersect(nodes_[cv].attrs);
       semijoin(v, SharedPositions(nodes_[v].columns, sep),
-               sep_keys(cv, nodes_[cv].sep_positions));
+               sep_keys(cv, nodes_[cv].sep_positions), &semijoin_dropped_);
     }
   }
   // Root-to-leaf: each child is filtered against its (now fully reduced)
@@ -118,7 +221,8 @@ Status YannakakisExecutor::Reduce(const Deadline* deadline) {
       const size_t cv = static_cast<size_t>(c);
       const AttrSet sep = nodes_[v].attrs.Intersect(nodes_[cv].attrs);
       semijoin(cv, nodes_[cv].sep_positions,
-               sep_keys(v, SharedPositions(nodes_[v].columns, sep)));
+               sep_keys(v, SharedPositions(nodes_[v].columns, sep)),
+               &semijoin_dropped_);
     }
   }
   for (Node& node : nodes_) RebuildKeys(&node);
@@ -129,7 +233,7 @@ Status YannakakisExecutor::Reduce(const Deadline* deadline) {
 JoinResult YannakakisExecutor::Execute(const YannakakisOptions& options) {
   JoinResult result;
   result.columns = out_columns_;
-  result.status = Reduce(options.deadline);
+  result.status = Reduce(options.deadline, options.num_threads);
   if (!result.status.ok()) return result;
 
   // Per-node hash index on the parent separator.

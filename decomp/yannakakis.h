@@ -43,6 +43,11 @@ struct YannakakisOptions {
   /// Polled between semijoin passes and every few enumerated rows; expiry
   /// returns the partial count with kDeadlineExceeded. Nullable.
   const Deadline* deadline = nullptr;
+  /// Worker threads for the semijoin reducer: 1 = sequential, 0 = all
+  /// hardware threads, N = exactly N. Reduction output is byte-identical
+  /// for every value (see Reduce). The join enumeration itself stays
+  /// single-threaded — it streams one row at a time by design.
+  int num_threads = 1;
 };
 
 struct JoinResult {
@@ -66,7 +71,15 @@ class YannakakisExecutor {
   /// Deadline expiry leaves the store partially reduced and returns
   /// kDeadlineExceeded — the join result would still be correct, just
   /// slower, but callers on a blown budget want out, not a join.
-  Status Reduce(const Deadline* deadline);
+  ///
+  /// With `num_threads` > 1 the passes run level-parallel: nodes of equal
+  /// tree depth are filtered concurrently (each task owns one node and
+  /// walks its children in order), with a barrier between levels. A node
+  /// only ever reads neighbors whose level is already final and only
+  /// mutates itself (leaf-to-root) or its own children (root-to-leaf), and
+  /// semijoin filtering preserves tuple order, so the reduced store — and
+  /// therefore the join — is byte-identical at any thread count.
+  Status Reduce(const Deadline* deadline, int num_threads = 1);
 
   /// Streams the join; see YannakakisOptions.
   JoinResult Execute(const YannakakisOptions& options);

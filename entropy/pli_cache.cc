@@ -1,0 +1,282 @@
+// Copyright (c) Maimon-cpp authors. Licensed under the MIT license.
+
+#include "entropy/pli_cache.h"
+
+#include <thread>
+#include <utility>
+
+namespace maimon {
+
+namespace {
+constexpr int kDefaultStripes = 16;
+}  // namespace
+
+PliCache::PliCache(size_t capacity_bytes, int num_stripes)
+    : capacity_bytes_(capacity_bytes),
+      stripes_(static_cast<size_t>(num_stripes > 0 ? num_stripes
+                                                   : kDefaultStripes)) {}
+
+bool PliCache::TryReserve(size_t cost) {
+  size_t cur = bytes_.load(std::memory_order_relaxed);
+  for (;;) {
+    if (cur + cost > capacity_bytes_) return false;
+    if (bytes_.compare_exchange_weak(cur, cur + cost,
+                                     std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+}
+
+bool PliCache::TryReserveValue() {
+  const size_t quota = capacity_bytes_ / 8;
+  size_t cur = value_bytes_.load(std::memory_order_relaxed);
+  for (;;) {
+    if (cur + kValueEntryBytes > quota) return false;
+    if (value_bytes_.compare_exchange_weak(cur, cur + kValueEntryBytes,
+                                           std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+}
+
+PliCache::PartitionRef PliCache::Get(AttrSet key, Stats* stats) {
+  Stripe& s = StripeFor(key);
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.index.find(key);
+  if (it == s.index.end() || it->second->partition == nullptr) {
+    if (stats != nullptr) ++stats->misses;
+    return nullptr;
+  }
+  if (stats != nullptr) ++stats->hits;
+  s.lru.splice(s.lru.begin(), s.lru, it->second);
+  return it->second->partition;
+}
+
+bool PliCache::Contains(AttrSet key) const {
+  const Stripe& s = StripeFor(key);
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.index.find(key);
+  return it != s.index.end() && it->second->partition != nullptr;
+}
+
+PliCache::PartitionRef PliCache::Touch(AttrSet key) {
+  Stripe& s = StripeFor(key);
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.index.find(key);
+  if (it == s.index.end() || it->second->partition == nullptr) return nullptr;
+  s.lru.splice(s.lru.begin(), s.lru, it->second);
+  return it->second->partition;
+}
+
+PliCache::PartitionRef PliCache::Put(AttrSet key, StrippedPartition partition,
+                                     Stats* stats) {
+  // Shrink before charging: Intersect leaves vector capacity above size,
+  // and the budget must reflect the bytes actually held while resident.
+  partition.ShrinkToFit();
+  const size_t cost = partition.MemoryBytes();
+  if (cost > capacity_bytes_) return nullptr;
+  auto ref = std::make_shared<const StrippedPartition>(std::move(partition));
+
+  // Phase 0: detach any existing entry for the key (a refresh, or a
+  // memo-only entry about to be upgraded) so its bytes are returned before
+  // we reserve the new cost. The memoized value, if any, survives. Not an
+  // eviction: the key's data is being replaced, not dropped.
+  double saved_entropy = 0.0;
+  bool saved_has_entropy = false;
+  bool refresh = false;  // replacing a resident partition is not an insert
+  {
+    Stripe& s = StripeFor(key);
+    std::lock_guard<std::mutex> lock(s.mu);
+    auto it = s.index.find(key);
+    if (it != s.index.end()) {
+      Entry& e = *it->second;
+      saved_entropy = e.entropy;
+      saved_has_entropy = e.has_entropy;
+      refresh = e.partition != nullptr;
+      Release(e.cost);
+      if (e.partition == nullptr) ReleaseValue();
+      (e.partition != nullptr ? s.lru : s.value_lru).erase(it->second);
+      s.index.erase(it);
+    }
+  }
+
+  // Phase 1: reserve the cost, evicting cold entries while it does not
+  // fit. No locks are held between attempts, so eviction (which takes one
+  // stripe lock at a time) cannot deadlock against concurrent inserts.
+  while (!TryReserve(cost)) {
+    if (!EvictSomething(stats)) {
+      // Nothing evictable: concurrent inserts hold reservations they have
+      // not yet published. Yield and retry — they will publish or release.
+      std::this_thread::yield();
+    }
+  }
+
+  // Phase 2: publish. Another thread may have inserted the same key while
+  // we held no lock; cached partitions are pure functions of the key, so
+  // keep the resident copy and hand back our reservation.
+  Stripe& s = StripeFor(key);
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.index.find(key);
+  if (it != s.index.end()) {
+    Entry& e = *it->second;
+    if (e.partition != nullptr) {
+      Release(cost);
+      if (saved_has_entropy && !e.has_entropy) {
+        e.entropy = saved_entropy;
+        e.has_entropy = true;
+      }
+      s.lru.splice(s.lru.begin(), s.lru, it->second);
+      return e.partition;
+    }
+    // A racing PutEntropy created a value-only entry: absorb its memo and
+    // upgrade it to a partition entry (below).
+    if (!saved_has_entropy && e.has_entropy) {
+      saved_entropy = e.entropy;
+      saved_has_entropy = true;
+    }
+    Release(e.cost);
+    ReleaseValue();
+    s.value_lru.erase(it->second);
+    s.index.erase(it);
+  }
+  s.lru.push_front(Entry{key, ref, cost, saved_entropy, saved_has_entropy});
+  s.index[key] = s.lru.begin();
+  if (stats != nullptr && !refresh) ++stats->insertions;
+  return ref;
+}
+
+void PliCache::PutEntropy(AttrSet key, double entropy, Stats* stats) {
+  {
+    Stripe& s = StripeFor(key);
+    std::lock_guard<std::mutex> lock(s.mu);
+    auto it = s.index.find(key);
+    if (it != s.index.end()) {
+      Entry& e = *it->second;
+      e.entropy = entropy;
+      e.has_entropy = true;
+      if (e.partition != nullptr) {
+        s.lru.splice(s.lru.begin(), s.lru, it->second);
+      } else {
+        s.value_lru.splice(s.value_lru.begin(), s.value_lru, it->second);
+      }
+      return;
+    }
+  }
+  if (kValueEntryBytes > capacity_bytes_ / 8) return;
+  // Reserve both the total budget and the segment quota, recycling only
+  // memo entries; when partitions fill the cache, skip the memo instead —
+  // a memo insert never displaces a resident partition.
+  for (;;) {
+    if (!TryReserve(kValueEntryBytes)) {
+      if (!EvictSomeValueEntry(stats)) return;
+      continue;
+    }
+    if (!TryReserveValue()) {
+      Release(kValueEntryBytes);
+      if (!EvictSomeValueEntry(stats)) return;
+      continue;
+    }
+    break;
+  }
+  Stripe& s = StripeFor(key);
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.index.find(key);
+  if (it != s.index.end()) {
+    // Racer inserted the key meanwhile; attach the memo there instead.
+    Entry& e = *it->second;
+    e.entropy = entropy;
+    e.has_entropy = true;
+    Release(kValueEntryBytes);
+    ReleaseValue();
+    return;
+  }
+  s.value_lru.push_front(
+      Entry{key, nullptr, kValueEntryBytes, entropy, true});
+  s.index[key] = s.value_lru.begin();
+  if (stats != nullptr) ++stats->value_insertions;
+}
+
+bool PliCache::GetEntropy(AttrSet key, double* entropy) {
+  Stripe& s = StripeFor(key);
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.index.find(key);
+  if (it == s.index.end() || !it->second->has_entropy) return false;
+  Entry& e = *it->second;
+  if (e.partition != nullptr) {
+    s.lru.splice(s.lru.begin(), s.lru, it->second);
+  } else {
+    s.value_lru.splice(s.value_lru.begin(), s.value_lru, it->second);
+  }
+  *entropy = e.entropy;
+  return true;
+}
+
+bool PliCache::EvictSomething(Stats* stats) {
+  const size_t n = stripes_.size();
+  const size_t start = evict_cursor_.fetch_add(1, std::memory_order_relaxed);
+  for (size_t i = 0; i < n; ++i) {
+    Stripe& s = stripes_[(start + i) % n];
+    std::lock_guard<std::mutex> lock(s.mu);
+    if (s.lru.empty()) continue;
+    Entry& victim = s.lru.back();
+    const size_t freed = victim.cost;
+    Release(freed);
+    if (stats != nullptr) ++stats->evictions;
+    // Downgrade to a value-only memo entry when it actually frees memory:
+    // the memo costs kValueEntryBytes to keep and a full intersection
+    // chain to recompute. Re-reserving after the release keeps the budget
+    // invariant; if the segment quota (or a racing reservation) refuses,
+    // the memo is dropped with the partition.
+    if (victim.has_entropy && freed > kValueEntryBytes &&
+        TryReserve(kValueEntryBytes)) {
+      if (TryReserveValue()) {
+        victim.partition = nullptr;
+        victim.cost = kValueEntryBytes;
+        s.value_lru.splice(s.value_lru.begin(), s.lru,
+                           std::prev(s.lru.end()));
+        return true;
+      }
+      Release(kValueEntryBytes);
+    }
+    s.index.erase(victim.key);
+    s.lru.pop_back();
+    return true;
+  }
+  return EvictSomeValueEntry(stats);
+}
+
+bool PliCache::EvictSomeValueEntry(Stats* stats) {
+  const size_t n = stripes_.size();
+  const size_t start = evict_cursor_.fetch_add(1, std::memory_order_relaxed);
+  for (size_t i = 0; i < n; ++i) {
+    Stripe& s = stripes_[(start + i) % n];
+    std::lock_guard<std::mutex> lock(s.mu);
+    if (s.value_lru.empty()) continue;
+    Entry& victim = s.value_lru.back();
+    Release(victim.cost);
+    ReleaseValue();
+    s.index.erase(victim.key);
+    s.value_lru.pop_back();
+    if (stats != nullptr) ++stats->evictions;
+    return true;
+  }
+  return false;
+}
+
+void PliCache::ForEachKey(const std::function<void(AttrSet)>& fn) const {
+  for (const Stripe& s : stripes_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    for (const Entry& e : s.lru) fn(e.key);
+  }
+}
+
+size_t PliCache::size() const {
+  size_t total = 0;
+  for (const Stripe& s : stripes_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    total += s.index.size();
+  }
+  return total;
+}
+
+}  // namespace maimon

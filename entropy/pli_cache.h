@@ -1,36 +1,64 @@
 // Copyright (c) Maimon-cpp authors. Licensed under the MIT license.
 //
-// PliCache: byte-budgeted LRU cache of materialized stripped partitions,
-// keyed by attribute set. The PLI engine consults it before every
-// intersection chain; MVDMiner's query stream has heavy prefix overlap
-// (separator candidates differ in one or two attributes), which is what
-// makes this cache the difference between feasible and infeasible mining.
+// PliCache: byte-budgeted concurrent LRU cache of materialized stripped
+// partitions, keyed by attribute set. The PLI engine consults it before
+// every intersection chain; MVDMiner's query stream has heavy prefix
+// overlap (separator candidates differ in one or two attributes), which is
+// what makes this cache the difference between feasible and infeasible
+// mining.
+//
+// One cache is shared by every engine handle forked from the same core —
+// there are no per-worker budget slices. Concurrency model:
+//
+//   * The index is striped: each stripe owns a mutex, a hash map, and two
+//     LRU lists (partitions + value-only memos). A key's stripe is fixed
+//     by its hash, so operations on distinct stripes never contend.
+//   * The byte budget is one global atomic pair (bytes_, value_bytes_).
+//     Inserts RESERVE bytes with a compare-exchange loop before
+//     publishing the entry, so `bytes <= capacity` holds at every instant
+//     — not just between operations. Reservation is lock-free; eviction
+//     locks one stripe at a time while holding no other lock, so the
+//     cache cannot deadlock.
+//   * Eviction is LRU within a stripe and round-robin across stripes (an
+//     approximation of global LRU; with one stripe it IS global LRU, and
+//     the single-threaded invariant tests pin that case).
+//   * Partitions are held by shared_ptr: Get/Put return a PartitionRef
+//     that keeps the partition alive even if another thread evicts the
+//     entry a moment later. The cache's byte accounting covers resident
+//     entries only; a reader's transient pin is its own (bounded) memory.
+//   * Counters live in caller-owned Stats structs (one per engine
+//     handle/thread), passed into each operation — no atomic counter
+//     contention, and folding them with AccumulateCounters reproduces the
+//     single-threaded totals exactly.
 //
 // Entries may additionally memoize the final H(X) value for their key
 // (PutEntropy/GetEntropy). A memo rides on a resident partition entry for
 // free; otherwise it lives in a value-only entry charged kValueEntryBytes
 // in its own small LRU segment, capped at 1/8 of the byte budget and
-// counted in the shared `bytes` stat. The segment is true LRU (re-queried
-// memos are promoted, the least-recently-used one is recycled), and a memo
-// insert never displaces a resident partition — partitions are the
-// expensive asset. An evicted partition that carries a memo downgrades to
-// a value-only entry when the segment has room, and partition inserts may
-// shed memo entries when nothing else fits — `bytes` never exceeds the
-// budget, and the memo cannot grow without bound on long mining runs.
+// counted in the shared `bytes` gauge. A memo insert never displaces a
+// resident partition — partitions are the expensive asset. An evicted
+// partition that carries a memo downgrades to a value-only entry when the
+// segment has room, and partition inserts may shed memo entries when
+// nothing else fits — `bytes` never exceeds the budget, and the memo
+// cannot grow without bound on long mining runs.
 //
-// Values live in std::list nodes, so the pointer returned by Get/Put stays
-// valid until that entry itself is evicted — callers may keep using a
-// partition while inserting others, as Put never evicts the entry it just
-// inserted and PutEntropy evicts only value-only entries.
+// Determinism note: sharing partitions and memos across threads is safe
+// for the thread-count-invariance contract because H(X) is a pure
+// function of the partition (StrippedPartition::Entropy sums in canonical
+// ascending-group-size order), so a value computed by any worker is
+// bit-identical to the value every other worker would compute.
 
 #ifndef MAIMON_ENTROPY_PLI_CACHE_H_
 #define MAIMON_ENTROPY_PLI_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
-#include <iterator>
+#include <functional>
 #include <list>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
-#include <utility>
+#include <vector>
 
 #include "entropy/stripped_partition.h"
 #include "util/attr_set.h"
@@ -39,13 +67,20 @@ namespace maimon {
 
 class PliCache {
  public:
+  /// A pin on a cached partition: valid for as long as the caller holds
+  /// it, regardless of concurrent eviction.
+  using PartitionRef = std::shared_ptr<const StrippedPartition>;
+
+  /// Per-caller counter block. Each thread (engine handle) owns one and
+  /// passes it into cache operations; folding the blocks with
+  /// AccumulateCounters yields exact aggregate totals.
   struct Stats {
     uint64_t hits = 0;
     uint64_t misses = 0;
     uint64_t insertions = 0;        // partition entries inserted
     uint64_t value_insertions = 0;  // value-only memo entries inserted
     uint64_t evictions = 0;
-    size_t bytes = 0;  // resident bytes: partitions + value-only memo entries
+    size_t bytes = 0;  // resident-byte gauge; set from bytes(), never summed
 
     /// Adds `other`'s monotone counters into this one. `bytes` — a
     /// resident gauge, not a counter — is deliberately left untouched; the
@@ -61,199 +96,117 @@ class PliCache {
   };
 
   /// Byte charge of a value-only entropy memo entry: the Entry struct
-  /// (~80 bytes with its empty partition's vector headers) plus the
-  /// std::list node and unordered_map node overhead.
+  /// plus the std::list node and unordered_map node overhead.
   static constexpr size_t kValueEntryBytes = 192;
 
-  explicit PliCache(size_t capacity_bytes) : capacity_bytes_(capacity_bytes) {}
+  /// `num_stripes <= 0` picks the default (16). Use 1 stripe to get exact
+  /// global LRU order (the single-threaded tests do).
+  explicit PliCache(size_t capacity_bytes, int num_stripes = 0);
+
+  PliCache(const PliCache&) = delete;
+  PliCache& operator=(const PliCache&) = delete;
 
   /// Looks up the partition for `key`, promoting the entry to
-  /// most-recently-used. Counts a hit or a miss (a value-only memo entry is
-  /// a partition miss). The pointer is valid until this entry is evicted.
-  const StrippedPartition* Get(AttrSet key) {
-    auto it = index_.find(key);
-    if (it == index_.end() || !it->second->has_partition) {
-      ++stats_.misses;
-      return nullptr;
-    }
-    ++stats_.hits;
-    lru_.splice(lru_.begin(), lru_, it->second);
-    return &it->second->partition;
-  }
+  /// most-recently-used in its stripe. Counts a hit or a miss into `stats`
+  /// (a value-only memo entry is a partition miss). Returns an empty ref
+  /// on miss.
+  PartitionRef Get(AttrSet key, Stats* stats);
 
   /// True iff a partition (not just a memoized value) is resident for `key`.
-  bool Contains(AttrSet key) const {
-    auto it = index_.find(key);
-    return it != index_.end() && it->second->has_partition;
-  }
+  bool Contains(AttrSet key) const;
 
   /// Like Get, but without hit/miss accounting: for internal probes (e.g.
   /// the engine re-fetching a subset it just located via ForEachKey) that
   /// would otherwise inflate the hit rate. Still promotes to MRU.
-  const StrippedPartition* Touch(AttrSet key) {
-    auto it = index_.find(key);
-    if (it == index_.end() || !it->second->has_partition) return nullptr;
-    lru_.splice(lru_.begin(), lru_, it->second);
-    return &it->second->partition;
-  }
+  PartitionRef Touch(AttrSet key);
 
   /// Inserts (or refreshes) the partition for `key`, preserving any
-  /// memoized entropy value on the entry. Evicts least-recently-used
-  /// partition entries until the byte budget holds, but never the entry
-  /// being inserted; a partition larger than the whole budget is rejected.
-  /// Returns the resident partition, or nullptr if rejected.
-  const StrippedPartition* Put(AttrSet key, StrippedPartition partition) {
-    const size_t cost = partition.MemoryBytes();
-    if (cost > capacity_bytes_) return nullptr;
-    auto it = index_.find(key);
-    if (it != index_.end()) {
-      if (it->second->has_partition) {
-        stats_.bytes -= it->second->partition.MemoryBytes();
-        it->second->partition = std::move(partition);
-        stats_.bytes += cost;
-        lru_.splice(lru_.begin(), lru_, it->second);
-      } else {
-        // A memo-only entry upgrades: move it from the value segment into
-        // the partition list, keeping its memoized value.
-        stats_.bytes -= kValueEntryBytes;
-        value_bytes_ -= kValueEntryBytes;
-        it->second->partition = std::move(partition);
-        it->second->has_partition = true;
-        stats_.bytes += cost;
-        ++stats_.insertions;
-        lru_.splice(lru_.begin(), value_lru_, it->second);
-      }
-      EvictUntilFits(&*lru_.begin());
-      return &lru_.begin()->partition;
-    }
-    lru_.push_front(Entry{key, std::move(partition), 0.0, true, false});
-    index_[key] = lru_.begin();
-    stats_.bytes += cost;
-    ++stats_.insertions;
-    EvictUntilFits(&*lru_.begin());
-    return &lru_.begin()->partition;
-  }
+  /// memoized entropy value on the entry. The partition is shrunk to fit
+  /// before being charged, so the budget reflects real residency. Evicts
+  /// least-recently-used entries until the byte budget holds — never the
+  /// entry being inserted; a partition larger than the whole budget is
+  /// rejected. Returns the resident partition (or, if another thread
+  /// raced the same key in first, that thread's identical copy); an empty
+  /// ref iff rejected.
+  PartitionRef Put(AttrSet key, StrippedPartition partition, Stats* stats);
 
   /// Memoizes H(key). Attaches to the resident entry when one exists (no
   /// extra bytes beyond its current cost); otherwise inserts a value-only
   /// entry into the memo segment, recycling that segment's LRU entry when
-  /// its 1/8-of-budget quota is full. Never touches partition entries.
-  void PutEntropy(AttrSet key, double entropy) {
-    auto it = index_.find(key);
-    if (it != index_.end()) {
-      it->second->entropy = entropy;
-      it->second->has_entropy = true;
-      Promote(it->second);
-      return;
-    }
-    const size_t quota = capacity_bytes_ / 8;
-    if (kValueEntryBytes > quota) return;
-    // Enforce the segment quota AND the total budget, recycling only memo
-    // entries; when partitions fill the cache, skip the memo instead.
-    while ((value_bytes_ + kValueEntryBytes > quota ||
-            stats_.bytes + kValueEntryBytes > capacity_bytes_) &&
-           !value_lru_.empty()) {
-      Entry& victim = value_lru_.back();
-      stats_.bytes -= kValueEntryBytes;
-      value_bytes_ -= kValueEntryBytes;
-      index_.erase(victim.key);
-      value_lru_.pop_back();
-      ++stats_.evictions;
-    }
-    if (stats_.bytes + kValueEntryBytes > capacity_bytes_) return;
-    value_lru_.push_front(Entry{key, StrippedPartition(), entropy, false, true});
-    index_[key] = value_lru_.begin();
-    stats_.bytes += kValueEntryBytes;
-    value_bytes_ += kValueEntryBytes;
-    ++stats_.value_insertions;
-  }
+  /// its 1/8-of-budget quota is full. Never evicts partition entries;
+  /// skips the memo when partitions fill the budget.
+  void PutEntropy(AttrSet key, double entropy, Stats* stats);
 
   /// Looks up a memoized H(key), promoting the entry on success. Does not
   /// touch the partition hit/miss counters (the engine tracks value hits).
-  bool GetEntropy(AttrSet key, double* entropy) {
-    auto it = index_.find(key);
-    if (it == index_.end() || !it->second->has_entropy) return false;
-    Promote(it->second);
-    *entropy = it->second->entropy;
-    return true;
-  }
+  bool GetEntropy(AttrSet key, double* entropy);
 
   /// Visits every key with a resident partition (no LRU promotion, no hit
-  /// accounting). Value-only memo entries are skipped.
-  template <typename Fn>
-  void ForEachKey(Fn fn) const {
-    for (const Entry& e : lru_) fn(e.key);
-  }
+  /// accounting). Holds one stripe lock at a time while visiting, so `fn`
+  /// must not call back into the cache.
+  void ForEachKey(const std::function<void(AttrSet)>& fn) const;
 
-  size_t size() const { return index_.size(); }
+  /// Resident entries (partitions + value-only memos) across all stripes.
+  size_t size() const;
   size_t capacity_bytes() const { return capacity_bytes_; }
-  const Stats& stats() const { return stats_; }
+  /// Resident bytes right now. With reservation-before-insert this never
+  /// exceeds capacity_bytes(), even observed mid-operation from another
+  /// thread.
+  size_t bytes() const { return bytes_.load(std::memory_order_relaxed); }
+  /// Resident bytes of the value-only memo segment (<= capacity/8).
+  size_t value_bytes() const {
+    return value_bytes_.load(std::memory_order_relaxed);
+  }
+  int num_stripes() const { return static_cast<int>(stripes_.size()); }
 
  private:
   struct Entry {
     AttrSet key;
-    StrippedPartition partition;
+    PartitionRef partition;  // null for value-only memo entries
+    size_t cost = 0;         // bytes charged while resident
     double entropy = 0.0;
-    bool has_partition = false;
     bool has_entropy = false;
   };
+  struct Stripe {
+    mutable std::mutex mu;
+    std::list<Entry> lru;        // partition entries; front = MRU
+    std::list<Entry> value_lru;  // value-only memo entries; front = MRU
+    std::unordered_map<AttrSet, std::list<Entry>::iterator, AttrSetHash> index;
+  };
 
-  /// Moves an entry to the front of whichever segment it lives in.
-  void Promote(std::list<Entry>::iterator it) {
-    if (it->has_partition) {
-      lru_.splice(lru_.begin(), lru_, it);
-    } else {
-      value_lru_.splice(value_lru_.begin(), value_lru_, it);
-    }
+  Stripe& StripeFor(AttrSet key) {
+    return stripes_[AttrSetHash{}(key) % stripes_.size()];
+  }
+  const Stripe& StripeFor(AttrSet key) const {
+    return stripes_[AttrSetHash{}(key) % stripes_.size()];
   }
 
-  /// Evicts cold partition entries until the total budget holds, never
-  /// evicting `keep` (the entry Put just inserted). An evicted partition
-  /// that carries a memoized H(X) is downgraded to a value-only entry when
-  /// the memo segment has room — the memo costs kValueEntryBytes to keep
-  /// and a full intersection chain to recompute. If draining partitions is
-  /// not enough (a near-capacity insert on top of resident memos), memo
-  /// entries are shed too, so `bytes <= capacity` holds unconditionally
-  /// after every insert.
-  void EvictUntilFits(const Entry* keep) {
-    const size_t quota = capacity_bytes_ / 8;
-    while (stats_.bytes > capacity_bytes_ && !lru_.empty()) {
-      Entry& victim = lru_.back();
-      if (&victim == keep) break;
-      const size_t freed = victim.partition.MemoryBytes();
-      stats_.bytes -= freed;
-      ++stats_.evictions;
-      // Downgrade only when it actually frees memory: a tiny partition's
-      // memo is not worth charging kValueEntryBytes (and possibly shedding
-      // an older memo) to keep.
-      if (victim.has_entropy && freed > kValueEntryBytes &&
-          value_bytes_ + kValueEntryBytes <= quota) {
-        victim.partition = StrippedPartition();
-        victim.has_partition = false;
-        value_lru_.splice(value_lru_.begin(), lru_, std::prev(lru_.end()));
-        stats_.bytes += kValueEntryBytes;
-        value_bytes_ += kValueEntryBytes;
-      } else {
-        index_.erase(victim.key);
-        lru_.pop_back();
-      }
-    }
-    while (stats_.bytes > capacity_bytes_ && !value_lru_.empty()) {
-      Entry& victim = value_lru_.back();
-      stats_.bytes -= kValueEntryBytes;
-      value_bytes_ -= kValueEntryBytes;
-      index_.erase(victim.key);
-      value_lru_.pop_back();
-      ++stats_.evictions;
-    }
+  /// Reserves `cost` bytes against the global budget iff it fits; the CAS
+  /// loop guarantees bytes_ <= capacity at every instant.
+  bool TryReserve(size_t cost);
+  void Release(size_t cost) {
+    bytes_.fetch_sub(cost, std::memory_order_relaxed);
+  }
+  /// Reserves kValueEntryBytes against the memo segment quota.
+  bool TryReserveValue();
+  void ReleaseValue() {
+    value_bytes_.fetch_sub(kValueEntryBytes, std::memory_order_relaxed);
   }
 
-  size_t capacity_bytes_;
-  size_t value_bytes_ = 0;      // resident bytes of value-only entries
-  std::list<Entry> lru_;        // partition entries; front = MRU
-  std::list<Entry> value_lru_;  // value-only memo entries; front = MRU
-  std::unordered_map<AttrSet, std::list<Entry>::iterator, AttrSetHash> index_;
-  Stats stats_;
+  /// Evicts the LRU partition entry of some stripe (round-robin scan from
+  /// an advancing cursor), downgrading it to a value-only memo entry when
+  /// it carries one worth keeping. Falls back to value-only entries when
+  /// no stripe has a partition. Returns false when every stripe is empty.
+  bool EvictSomething(Stats* stats);
+  /// Evicts the LRU value-only entry of some stripe. Returns false when
+  /// the memo segment is empty everywhere.
+  bool EvictSomeValueEntry(Stats* stats);
+
+  const size_t capacity_bytes_;
+  std::atomic<size_t> bytes_{0};        // resident bytes, all entries
+  std::atomic<size_t> value_bytes_{0};  // resident bytes, memo segment
+  std::atomic<size_t> evict_cursor_{0};
+  std::vector<Stripe> stripes_;
 };
 
 }  // namespace maimon

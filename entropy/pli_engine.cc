@@ -26,44 +26,43 @@ PliSharedCore::PliSharedCore(const Relation& relation,
 PliEntropyEngine::PliEntropyEngine(const Relation& relation,
                                    PliEngineOptions options)
     : core_(std::make_shared<PliSharedCore>(relation, options)),
-      cache_(core_->options().cache_capacity_bytes),
+      cache_(std::make_shared<PliCache>(
+          core_->options().cache_capacity_bytes, core_->options().cache_stripes)),
       scratch_(relation.NumRows(), -1) {}
 
 PliEntropyEngine::PliEntropyEngine(std::shared_ptr<const PliSharedCore> core,
-                                   size_t cache_capacity_bytes)
+                                   std::shared_ptr<PliCache> cache)
     : core_(std::move(core)),
-      cache_(cache_capacity_bytes),
+      cache_(std::move(cache)),
       scratch_(core_->relation().NumRows(), -1) {}
 
 std::vector<std::unique_ptr<PliEntropyEngine>> PliEntropyEngine::ForkShards(
     int num_shards) const {
   if (num_shards < 1) num_shards = 1;
-  // Integer division: the shards' budgets sum to at most the configured
-  // global capacity, never above it.
-  const size_t slice =
-      core_->options().cache_capacity_bytes / static_cast<size_t>(num_shards);
+  // Every worker shares THE cache — the full byte budget, not a 1/n slice
+  // (the old slicing both stranded cold shards' quota and dropped the
+  // integer-division remainder).
   std::vector<std::unique_ptr<PliEntropyEngine>> shards;
   shards.reserve(static_cast<size_t>(num_shards));
-  for (int i = 0; i < num_shards; ++i) shards.push_back(Fork(slice));
+  for (int i = 0; i < num_shards; ++i) shards.push_back(Fork());
   return shards;
 }
 
-std::unique_ptr<PliEntropyEngine> PliEntropyEngine::Fork(
-    size_t cache_capacity_bytes) const {
+std::unique_ptr<PliEntropyEngine> PliEntropyEngine::Fork() const {
   return std::unique_ptr<PliEntropyEngine>(
-      new PliEntropyEngine(core_, cache_capacity_bytes));
+      new PliEntropyEngine(core_, cache_));
 }
 
 void PliEntropyEngine::MergeStats(const PliEntropyEngine& worker) {
-  // AccumulateCounters skips cache.bytes: a resident gauge, not a counter —
-  // the worker's bytes are about to be freed with its cache.
+  // AccumulateCounters skips cache.bytes: a resident gauge of the shared
+  // cache, not a counter — stats() reads it off the cache directly.
   merged_.AccumulateCounters(worker.stats());
 }
 
 AttrSet PliEntropyEngine::BestCachedSubset(AttrSet attrs) const {
   AttrSet best;
   int best_count = 0;
-  cache_.ForEachKey([&](AttrSet key) {
+  cache_->ForEachKey([&](AttrSet key) {
     if (attrs.ContainsAll(key) && key.Count() > best_count) {
       best = key;
       best_count = key.Count();
@@ -87,7 +86,7 @@ double PliEntropyEngine::Entropy(AttrSet attrs) {
 
   if (options.cache_entropy_values) {
     double memoized;
-    if (cache_.GetEntropy(attrs, &memoized)) {
+    if (cache_->GetEntropy(attrs, &memoized)) {
       ++value_hits_;
       return memoized;
     }
@@ -96,20 +95,25 @@ double PliEntropyEngine::Entropy(AttrSet attrs) {
   // Exact-partition probe — the accounted hit/miss event: a hit means the
   // partition cache served this attribute set outright, a miss means
   // intersection work follows.
-  if (const StrippedPartition* exact = cache_.Get(attrs)) {
+  if (PliCache::PartitionRef exact = cache_->Get(attrs, &cache_stats_)) {
     const double h = exact->Entropy();
-    if (options.cache_entropy_values) cache_.PutEntropy(attrs, h);
+    if (options.cache_entropy_values) cache_->PutEntropy(attrs, h, &cache_stats_);
     return h;
   }
 
-  // Stage 1: best cached starting point. `cur` aliases either a cache
-  // resident or a base PLI; it is only read until the first Intersect.
+  // Stage 1: best cached starting point. `cur` aliases either a pinned
+  // cache resident (`held` keeps it alive under concurrent eviction) or a
+  // base PLI; it is only read until the first Intersect.
   AttrSet have = BestCachedSubset(attrs);
+  PliCache::PartitionRef held;
   const StrippedPartition* cur = nullptr;
   if (have.Any()) {
-    cur = cache_.Touch(have);  // internal probe: promotes, no accounting
-    assert(cur != nullptr);
-  } else {
+    held = cache_->Touch(have);  // internal probe: promotes, no accounting
+    if (held != nullptr) cur = held.get();
+  }
+  if (cur == nullptr) {
+    // Nothing cached applies (or a concurrent eviction won the race
+    // between ForEachKey and Touch): start from a base single-column PLI.
     const int first = attrs.First();
     have = AttrSet::Single(first);
     cur = &core_->Single(first);
@@ -124,12 +128,15 @@ double PliEntropyEngine::Entropy(AttrSet attrs) {
     ++intersections_;
     have.Add(c);
     cur = &owned;
+    held.reset();  // previous pin no longer read
     if (have.Count() <= options.block_size && have != attrs &&
-        owned.MemoryBytes() <= cache_.capacity_bytes()) {
-      // Put cannot reject (capacity pre-checked), so `owned` may be moved
-      // into the cache and `cur` re-pointed at the resident copy.
-      cur = cache_.Put(have, std::move(owned));
-      assert(cur != nullptr);
+        owned.MemoryBytes() <= cache_->capacity_bytes()) {
+      // Put cannot reject (capacity pre-checked, and shrinking inside Put
+      // only lowers the cost), so `owned` may be moved into the cache and
+      // `cur` re-pointed at the resident (pinned) copy.
+      held = cache_->Put(have, std::move(owned), &cache_stats_);
+      assert(held != nullptr);
+      cur = held.get();
     }
   }
 
@@ -137,12 +144,12 @@ double PliEntropyEngine::Entropy(AttrSet attrs) {
   // The full query partition is also worth staging when narrow enough:
   // MVDMiner re-queries supersets of it immediately.
   if (attrs.Count() <= options.block_size && cur == &owned &&
-      owned.MemoryBytes() <= cache_.capacity_bytes()) {
-    cache_.Put(attrs, std::move(owned));
+      owned.MemoryBytes() <= cache_->capacity_bytes()) {
+    cache_->Put(attrs, std::move(owned), &cache_stats_);
   }
   // Memoize after the partition Put so the value attaches to the resident
   // entry for free instead of opening a value-only entry.
-  if (options.cache_entropy_values) cache_.PutEntropy(attrs, h);
+  if (options.cache_entropy_values) cache_->PutEntropy(attrs, h, &cache_stats_);
   return h;
 }
 
@@ -173,8 +180,8 @@ PliEntropyEngine::Stats PliEntropyEngine::stats() const {
   s.queries += num_queries_;
   s.value_hits += value_hits_;
   s.intersections += intersections_;
-  s.cache.AccumulateCounters(cache_.stats());
-  s.cache.bytes = cache_.stats().bytes;  // resident gauge of this shard only
+  s.cache.AccumulateCounters(cache_stats_);
+  s.cache.bytes = cache_->bytes();  // resident gauge of the shared cache
   return s;
 }
 

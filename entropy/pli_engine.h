@@ -23,13 +23,17 @@
 //                      StrippedPartition per column, and every single-column
 //                      entropy. Built once, read concurrently by any number
 //                      of workers with no synchronization.
-//   PliEntropyEngine — the per-worker mutable shard: a PliCache slice of
-//                      the byte budget, the intersect scratch vector, and
-//                      the query/hit counters. One engine is owned by one
-//                      thread at a time; ForkShards() splits the byte
-//                      budget across workers and MergeStats() folds worker
-//                      counters back so aggregate ablation numbers add up
-//                      exactly across any thread count.
+//   PliCache         — ONE concurrent cache (striped locks, one global byte
+//                      budget) shared by every engine handle forked from the
+//                      same core: a partition materialized by any worker is
+//                      immediately a hit for all of them, and no budget is
+//                      stranded in cold per-worker slices.
+//   PliEntropyEngine — the per-worker handle: the intersect scratch vector
+//                      and the query/hit counters. One handle is owned by
+//                      one thread at a time; ForkShards() hands out handles
+//                      over the shared core + cache and MergeStats() folds
+//                      worker counters back so aggregate ablation numbers
+//                      add up exactly across any thread count.
 //
 // Counters for every layer (value hits, PLI hits/misses, evictions, bytes,
 // intersections) feed the ablation bench.
@@ -53,12 +57,16 @@ struct PliEngineOptions {
   /// L: partitions with at most this many attributes are cached; wider ones
   /// are computed transiently. Sec. 6.3 uses L = 10.
   int block_size = 10;
-  /// Byte budget for the partition LRU cache. Forked workers split this
-  /// budget; the shards never sum above it.
+  /// Byte budget for the shared partition cache. One global budget: every
+  /// engine handle forked from the same core shares the one cache, so no
+  /// bytes are sliced away or stranded per worker.
   size_t cache_capacity_bytes = size_t{64} << 20;
   /// Memoize final H(X) values in the partition cache (exact-match memo;
   /// budgeted and LRU-evicted alongside the partitions).
   bool cache_entropy_values = true;
+  /// Lock stripes for the shared cache; <= 0 picks the default (16). One
+  /// stripe gives exact global LRU order (useful in tests).
+  int cache_stripes = 0;
 };
 
 /// The immutable half of the engine: everything every worker reads and no
@@ -98,22 +106,21 @@ class PliEntropyEngine : public EntropyEngine {
   /// Total queries answered by this shard plus everything merged into it.
   uint64_t NumQueries() const override { return num_queries_ + merged_.queries; }
 
-  /// Forks `num_shards` worker engines over this engine's immutable core.
-  /// Each worker gets an equal slice of this engine's *configured* cache
-  /// budget, so the workers' capacities sum to at most the global budget
-  /// (the parent's resident cache is left untouched and stays warm for the
-  /// single-threaded phases). Workers are independent: each may be handed
-  /// to a different thread.
+  /// Forks `num_shards` worker handles over this engine's immutable core
+  /// AND its shared concurrent cache — the full byte budget, no slicing.
+  /// Partitions staged by this engine are warm for every worker (and vice
+  /// versa). Each handle carries only thread-confined state (scratch
+  /// vector, counters) and may be handed to a different thread.
   std::vector<std::unique_ptr<PliEntropyEngine>> ForkShards(
       int num_shards) const;
-  /// Single-shard fork with an explicit cache budget (bytes).
-  std::unique_ptr<PliEntropyEngine> Fork(size_t cache_capacity_bytes) const;
+  /// Single worker handle over the shared core + cache.
+  std::unique_ptr<PliEntropyEngine> Fork() const;
 
   /// Folds a worker's counters into this engine's merged totals. Counter
   /// fields (queries, hits, misses, insertions, evictions, intersections)
-  /// are summed exactly; the `bytes` gauge is not (the worker's resident
-  /// cache is typically about to be freed — only this engine's own resident
-  /// bytes are reported). Call once per worker, after its last query.
+  /// are summed exactly; the `bytes` gauge is not (it is read off the one
+  /// shared cache, never summed). Call once per worker, after its last
+  /// query and from the thread that owns this engine.
   void MergeStats(const PliEntropyEngine& worker);
 
   struct Stats {
@@ -131,26 +138,27 @@ class PliEntropyEngine : public EntropyEngine {
       cache.AccumulateCounters(other.cache);
     }
   };
-  /// This shard's counters plus every merged worker's. `cache.bytes` is the
-  /// resident gauge of this shard's cache only.
+  /// This handle's counters plus every merged worker's. `cache.bytes` is
+  /// the resident gauge of the shared cache.
   Stats stats() const;
 
-  const PliCache& cache() const { return cache_; }
+  const PliCache& cache() const { return *cache_; }
   const Relation& relation() const { return core_->relation(); }
   const PliEngineOptions& options() const { return core_->options(); }
   const PliSharedCore& core() const { return *core_; }
 
  private:
-  /// A worker shard over an existing core with its own byte budget.
+  /// A worker handle over an existing core and its shared cache.
   PliEntropyEngine(std::shared_ptr<const PliSharedCore> core,
-                   size_t cache_capacity_bytes);
+                   std::shared_ptr<PliCache> cache);
 
   /// Largest cached subset of `attrs` (single columns count as cached).
   /// Returns the empty set when nothing applies.
   AttrSet BestCachedSubset(AttrSet attrs) const;
 
   std::shared_ptr<const PliSharedCore> core_;
-  PliCache cache_;  // partitions + the H(X) value memo, one byte budget
+  std::shared_ptr<PliCache> cache_;  // shared: partitions + the H(X) memo
+  PliCache::Stats cache_stats_;   // this handle's slice of cache counters
   std::vector<int32_t> scratch_;  // size NumRows, kept all -1 between calls
   uint64_t num_queries_ = 0;
   uint64_t value_hits_ = 0;

@@ -62,9 +62,19 @@ class StrippedPartition {
   double Entropy() const;
 
   /// Heap footprint in bytes — what the LRU cache charges for this entry.
+  /// Charges capacity(), not size(): the cache calls ShrinkToFit() before
+  /// an entry becomes resident, so the two coincide for cached partitions
+  /// and transient over-allocation is never billed to the byte budget.
   size_t MemoryBytes() const {
     return rows_.capacity() * sizeof(int32_t) +
            starts_.capacity() * sizeof(int32_t) + sizeof(*this);
+  }
+
+  /// Releases the excess vector capacity Intersect's reserve left behind
+  /// (rows_ is reserved at an upper bound, starts_ grows by push_back).
+  void ShrinkToFit() {
+    rows_.shrink_to_fit();
+    starts_.shrink_to_fit();
   }
 
  private:

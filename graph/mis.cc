@@ -2,37 +2,24 @@
 
 #include "graph/mis.h"
 
+#include <utility>
+
 namespace maimon {
 namespace {
 
 // Maximal independent sets of G are maximal cliques of the complement.
-// Tomita-style Bron–Kerbosch with pivoting over complement adjacency.
-class MisEnumerator {
+// Tomita-style Bron–Kerbosch with pivoting over complement adjacency. One
+// walker per (branch, thread): it owns the mutable recursion state
+// (current_) while reading the decomposition's shared adjacency table.
+class BranchWalker {
  public:
-  MisEnumerator(const Graph& graph,
-                const std::function<bool(const VertexSet&)>& emit,
-                const Deadline* deadline)
-      : n_(graph.NumVertices()),
-        emit_(&emit),
-        deadline_(deadline),
-        current_(n_) {
-    comp_adj_.reserve(static_cast<size_t>(n_));
-    for (int v = 0; v < n_; ++v) {
-      VertexSet row(n_);
-      for (int u = 0; u < n_; ++u) {
-        if (u != v && !graph.HasEdge(u, v)) row.Add(u);
-      }
-      comp_adj_.push_back(std::move(row));
-    }
-  }
+  BranchWalker(const std::vector<VertexSet>& comp_adj, int n,
+               const std::function<bool(const VertexSet&)>& emit,
+               const Deadline* deadline)
+      : comp_adj_(&comp_adj), emit_(&emit), deadline_(deadline), current_(n) {}
 
-  bool Run() {
-    VertexSet p(n_), x(n_);
-    for (int v = 0; v < n_; ++v) p.Add(v);
-    return Expand(p, x);
-  }
+  VertexSet* current() { return &current_; }
 
- private:
   // Returns false to propagate an early stop from the callback or the
   // deadline (polled per node: gaps between emissions can be exponential).
   bool Expand(VertexSet p, VertexSet x) {
@@ -43,7 +30,8 @@ class MisEnumerator {
     int pivot = -1, best = -1;
     for (const VertexSet* side : {&p, &x}) {
       side->ForEach([&](int u) {
-        const int score = comp_adj_[static_cast<size_t>(u)].CountIntersect(p);
+        const int score =
+            (*comp_adj_)[static_cast<size_t>(u)].CountIntersect(p);
         if (score > best) {
           best = score;
           pivot = u;
@@ -52,10 +40,12 @@ class MisEnumerator {
     }
 
     VertexSet candidates = p;
-    if (pivot >= 0) candidates.MinusWith(comp_adj_[static_cast<size_t>(pivot)]);
+    if (pivot >= 0) {
+      candidates.MinusWith((*comp_adj_)[static_cast<size_t>(pivot)]);
+    }
 
     for (int v : candidates.ToVector()) {
-      const VertexSet& nv = comp_adj_[static_cast<size_t>(v)];
+      const VertexSet& nv = (*comp_adj_)[static_cast<size_t>(v)];
       VertexSet p2 = p, x2 = x;
       p2.IntersectWith(nv);
       x2.IntersectWith(nv);
@@ -69,14 +59,63 @@ class MisEnumerator {
     return true;
   }
 
-  int n_;
+ private:
+  const std::vector<VertexSet>* comp_adj_;
   const std::function<bool(const VertexSet&)>* emit_;
   const Deadline* deadline_;
   VertexSet current_;
-  std::vector<VertexSet> comp_adj_;
 };
 
 }  // namespace
+
+MisDecomposition::MisDecomposition(const Graph& graph)
+    : n_(graph.NumVertices()) {
+  comp_adj_.reserve(static_cast<size_t>(n_));
+  for (int v = 0; v < n_; ++v) {
+    VertexSet row(n_);
+    for (int u = 0; u < n_; ++u) {
+      if (u != v && !graph.HasEdge(u, v)) row.Add(u);
+    }
+    comp_adj_.push_back(std::move(row));
+  }
+  if (n_ == 0) return;
+
+  // The root call of the sequential recursion, unrolled: pivot over the
+  // full P (X is empty at the root), then one branch per candidate, each
+  // capturing the (P, X) state the sequential loop would recurse with.
+  VertexSet p(n_), x(n_);
+  for (int v = 0; v < n_; ++v) p.Add(v);
+  int pivot = -1, best = -1;
+  p.ForEach([&](int u) {
+    const int score = comp_adj_[static_cast<size_t>(u)].CountIntersect(p);
+    if (score > best) {
+      best = score;
+      pivot = u;
+    }
+  });
+  VertexSet candidates = p;
+  if (pivot >= 0) candidates.MinusWith(comp_adj_[static_cast<size_t>(pivot)]);
+
+  for (int v : candidates.ToVector()) {
+    const VertexSet& nv = comp_adj_[static_cast<size_t>(v)];
+    VertexSet p2 = p, x2 = x;
+    p2.IntersectWith(nv);
+    x2.IntersectWith(nv);
+    branches_.push_back(Branch{v, std::move(p2), std::move(x2)});
+    p.Remove(v);
+    x.Add(v);
+  }
+}
+
+bool MisDecomposition::EnumerateBranch(
+    size_t b, const std::function<bool(const VertexSet&)>& emit,
+    const Deadline* deadline) const {
+  const Branch& branch = branches_[b];
+  BranchWalker walker(comp_adj_, n_, emit, deadline);
+  walker.current()->Add(branch.vertex);
+  // Copies: Expand mutates its P/X while the decomposition stays shared.
+  return walker.Expand(branch.p, branch.x);
+}
 
 bool EnumerateMaximalIndependentSets(
     const Graph& graph, const std::function<bool(const VertexSet&)>& emit,
@@ -84,8 +123,12 @@ bool EnumerateMaximalIndependentSets(
   if (graph.NumVertices() == 0) {
     return emit(VertexSet(0));
   }
-  MisEnumerator enumerator(graph, emit, deadline);
-  return enumerator.Run();
+  if (DeadlineExpired(deadline)) return false;
+  MisDecomposition decomp(graph);
+  for (size_t b = 0; b < decomp.NumBranches(); ++b) {
+    if (!decomp.EnumerateBranch(b, emit, deadline)) return false;
+  }
+  return true;
 }
 
 }  // namespace maimon

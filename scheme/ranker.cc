@@ -88,8 +88,8 @@ RankResult RankSchemes(const Relation& relation,
   auto* pli = dynamic_cast<PliEntropyEngine*>(oracle.engine());
   bool completed = true;
   if (threads > 1 && pli != nullptr) {
-    // Each shard scores on a forked engine (shared immutable core, private
-    // cache slice) — entropies are exact regardless of cache state, so the
+    // Each shard scores on a forked engine handle (shared immutable core,
+    // shared cache) — entropies are exact regardless of cache state, so the
     // per-scheme reports are identical to the inline path's.
     std::vector<EngineShard> shards = MakeEngineShards(*pli, threads);
     ThreadPool pool(threads);

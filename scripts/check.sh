@@ -9,9 +9,10 @@
 #            ctest entries (>= 10 s/eps budgets). The default lane excludes
 #            them so it stays fast.
 #   --tsan   additionally build <repo>/build-tsan with ThreadSanitizer and
-#            run the concurrency suite (parallel_test: pool, sharded
-#            engines, full parallel pipeline) under it. The default lane is
-#            unchanged.
+#            run the concurrency suites (parallel_test: pool, forked
+#            engines, full parallel pipeline; pli_cache_test: the shared
+#            concurrent cache's mixed-traffic stress) under it. The
+#            default lane is unchanged.
 #   --asan   additionally build <repo>/build-asan with AddressSanitizer +
 #            UBSan and run the full unit suite under it (same -LE slow
 #            selection as the default lane).
@@ -54,8 +55,10 @@ if [[ "${tsan}" -eq 1 ]]; then
   # small and the lane fast.
   cmake -B "${tsan_dir}" -S "${repo_root}" -DMAIMON_TSAN=ON \
         -DMAIMON_WITH_GBENCH=OFF
-  cmake --build "${tsan_dir}" -j "${jobs}" --target parallel_test
-  ctest --test-dir "${tsan_dir}" --output-on-failure -R '^parallel_test$'
+  cmake --build "${tsan_dir}" -j "${jobs}" --target parallel_test \
+        --target pli_cache_test
+  ctest --test-dir "${tsan_dir}" --output-on-failure \
+        -R '^(parallel_test|pli_cache_test)$'
 fi
 
 if [[ "${asan}" -eq 1 ]]; then
@@ -68,6 +71,24 @@ if [[ "${asan}" -eq 1 ]]; then
         -DMAIMON_WITH_GBENCH=OFF
   cmake --build "${asan_dir}" -j "${jobs}"
   ctest --test-dir "${asan_dir}" --output-on-failure -j "${jobs}" -LE slow
+fi
+
+# The committed figure snapshots (bench-smoke outputs) must stay parseable
+# JSONL with non-empty rows — a bad merge or a bench output-format drift
+# fails here, not when someone plots them.
+if command -v python3 >/dev/null 2>&1; then
+  echo "--- BENCH snapshots parse ---"
+  python3 - "${repo_root}/BENCH_fig13.json" "${repo_root}/BENCH_fig14.json" <<'PY'
+import json, sys
+for path in sys.argv[1:]:
+    with open(path) as f:
+        rows = [json.loads(line) for line in f if line.strip()]
+    if not rows:
+        raise SystemExit(f"{path}: empty snapshot")
+    print(f"  {path}: {len(rows)} row(s) ok")
+PY
+else
+  echo "--- python3 absent: BENCH snapshot parse check skipped"
 fi
 
 if [[ -x "${build_dir}/bench_entropy_engine" ]]; then

@@ -1,10 +1,18 @@
 // Copyright (c) Maimon-cpp authors. Licensed under the MIT license.
 //
 // PliCache contract: LRU eviction respects the byte capacity, hit/miss
-// counters are exact, and resident pointers stay valid across inserts.
+// counters are exact, and partition refs stay valid across inserts and
+// concurrent evictions. The single-threaded cases run on a one-stripe
+// cache, where eviction order is exact global LRU; the stress case runs
+// the default striping with eight threads of mixed traffic and checks the
+// invariants that survive concurrency: bytes <= capacity at every instant,
+// per-thread counters folding exactly, and memo values never torn.
 
 #include "entropy/pli_cache.h"
 
+#include <atomic>
+#include <cstdio>
+#include <thread>
 #include <vector>
 
 #include "tests/test_util.h"
@@ -19,70 +27,78 @@ StrippedPartition MakePartition(size_t rows) {
 }
 
 TEST_CASE(HitAndMissCountersAreExact) {
-  PliCache cache(size_t{1} << 20);
+  PliCache cache(size_t{1} << 20, /*num_stripes=*/1);
+  PliCache::Stats st;
   const AttrSet a(0b01), b(0b10);
 
-  CHECK(cache.Get(a) == nullptr);
-  CHECK(cache.Get(b) == nullptr);
-  CHECK_EQ(cache.stats().misses, 2u);
-  CHECK_EQ(cache.stats().hits, 0u);
+  CHECK(cache.Get(a, &st) == nullptr);
+  CHECK(cache.Get(b, &st) == nullptr);
+  CHECK_EQ(st.misses, 2u);
+  CHECK_EQ(st.hits, 0u);
 
-  cache.Put(a, MakePartition(64));
-  for (int i = 0; i < 5; ++i) CHECK(cache.Get(a) != nullptr);
-  CHECK(cache.Get(b) == nullptr);
-  CHECK_EQ(cache.stats().hits, 5u);
-  CHECK_EQ(cache.stats().misses, 3u);
-  CHECK_EQ(cache.stats().insertions, 1u);
-  CHECK_EQ(cache.stats().evictions, 0u);
+  cache.Put(a, MakePartition(64), &st);
+  for (int i = 0; i < 5; ++i) CHECK(cache.Get(a, &st) != nullptr);
+  CHECK(cache.Get(b, &st) == nullptr);
+  CHECK_EQ(st.hits, 5u);
+  CHECK_EQ(st.misses, 3u);
+  CHECK_EQ(st.insertions, 1u);
+  CHECK_EQ(st.evictions, 0u);
 }
 
 TEST_CASE(EvictionRespectsCapacityAndLruOrder) {
   const size_t entry_bytes = MakePartition(256).MemoryBytes();
-  // Room for three entries, not four.
-  PliCache cache(3 * entry_bytes + entry_bytes / 2);
+  // Room for three entries, not four. One stripe: exact global LRU.
+  PliCache cache(3 * entry_bytes + entry_bytes / 2, /*num_stripes=*/1);
+  PliCache::Stats st;
 
   const AttrSet keys[4] = {AttrSet(1), AttrSet(2), AttrSet(4), AttrSet(8)};
-  for (int i = 0; i < 3; ++i) cache.Put(keys[i], MakePartition(256));
+  for (int i = 0; i < 3; ++i) cache.Put(keys[i], MakePartition(256), &st);
   CHECK_EQ(cache.size(), 3u);
-  CHECK(cache.stats().bytes <= cache.capacity_bytes());
+  CHECK(cache.bytes() <= cache.capacity_bytes());
 
   // Touch key 0 so key 1 becomes LRU, then insert key 3.
-  CHECK(cache.Get(keys[0]) != nullptr);
-  cache.Put(keys[3], MakePartition(256));
+  CHECK(cache.Get(keys[0], &st) != nullptr);
+  cache.Put(keys[3], MakePartition(256), &st);
   CHECK_EQ(cache.size(), 3u);
-  CHECK_EQ(cache.stats().evictions, 1u);
+  CHECK_EQ(st.evictions, 1u);
   CHECK(!cache.Contains(keys[1]));  // the LRU victim
   CHECK(cache.Contains(keys[0]));
   CHECK(cache.Contains(keys[2]));
   CHECK(cache.Contains(keys[3]));
-  CHECK(cache.stats().bytes <= cache.capacity_bytes());
+  CHECK(cache.bytes() <= cache.capacity_bytes());
 }
 
 TEST_CASE(OversizedEntryIsRejected) {
   const size_t small = MakePartition(16).MemoryBytes();
-  PliCache cache(small);
-  CHECK(cache.Put(AttrSet(1), MakePartition(4096)) == nullptr);
+  PliCache cache(small, /*num_stripes=*/1);
+  PliCache::Stats st;
+  CHECK(cache.Put(AttrSet(1), MakePartition(4096), &st) == nullptr);
   CHECK_EQ(cache.size(), 0u);
-  CHECK_EQ(cache.stats().bytes, 0u);
+  CHECK_EQ(cache.bytes(), 0u);
   // A fitting entry still goes in.
-  CHECK(cache.Put(AttrSet(2), MakePartition(16)) != nullptr);
+  CHECK(cache.Put(AttrSet(2), MakePartition(16), &st) != nullptr);
   CHECK_EQ(cache.size(), 1u);
 }
 
-TEST_CASE(PutNeverEvictsTheInsertedEntryAndPointersAreStable) {
+TEST_CASE(PutNeverEvictsTheInsertedEntryAndRefsStayValid) {
   const size_t entry_bytes = MakePartition(128).MemoryBytes();
-  PliCache cache(2 * entry_bytes + entry_bytes / 2);
+  PliCache cache(2 * entry_bytes + entry_bytes / 2, /*num_stripes=*/1);
+  PliCache::Stats st;
 
-  const StrippedPartition* first = cache.Put(AttrSet(1), MakePartition(128));
+  const PliCache::PartitionRef first =
+      cache.Put(AttrSet(1), MakePartition(128), &st);
   CHECK(first != nullptr);
-  const StrippedPartition* second = cache.Put(AttrSet(2), MakePartition(128));
+  const PliCache::PartitionRef second =
+      cache.Put(AttrSet(2), MakePartition(128), &st);
   CHECK(second != nullptr);
-  // Third insert evicts the LRU (key 1), not itself; `second` (promoted by
-  // nothing, but still resident) must remain a valid pointer.
-  const StrippedPartition* third = cache.Put(AttrSet(4), MakePartition(128));
+  // Third insert evicts the LRU (key 1), not itself. The evicted `first`
+  // is pinned by our ref and stays readable; `second` stays resident.
+  const PliCache::PartitionRef third =
+      cache.Put(AttrSet(4), MakePartition(128), &st);
   CHECK(third != nullptr);
   CHECK(!cache.Contains(AttrSet(1)));
   CHECK(cache.Contains(AttrSet(2)));
+  CHECK_EQ(first->NumRows(), size_t{128});  // pin outlives eviction
   CHECK_EQ(second->NumRows(), size_t{128});
   CHECK_EQ(third->NumRows(), size_t{128});
 }
@@ -90,17 +106,18 @@ TEST_CASE(PutNeverEvictsTheInsertedEntryAndPointersAreStable) {
 TEST_CASE(EntropyMemoSharesTheByteBudgetAndLru) {
   // The memo segment gets 1/8 of the budget: room for exactly three
   // value-only entries.
-  PliCache cache(PliCache::kValueEntryBytes * 24);
+  PliCache cache(PliCache::kValueEntryBytes * 24, /*num_stripes=*/1);
+  PliCache::Stats st;
   double h = 0.0;
   CHECK(!cache.GetEntropy(AttrSet(1), &h));
-  cache.PutEntropy(AttrSet(1), 1.5);
-  CHECK_EQ(cache.stats().bytes, PliCache::kValueEntryBytes);
+  cache.PutEntropy(AttrSet(1), 1.5, &st);
+  CHECK_EQ(cache.bytes(), PliCache::kValueEntryBytes);
   CHECK(cache.GetEntropy(AttrSet(1), &h));
   CHECK_NEAR(h, 1.5, 0.0);
 
   // Value-only entries are invisible to the partition interface.
   CHECK(!cache.Contains(AttrSet(1)));
-  CHECK(cache.Get(AttrSet(1)) == nullptr);
+  CHECK(cache.Get(AttrSet(1), &st) == nullptr);
   int partition_keys = 0;
   cache.ForEachKey([&](AttrSet) { ++partition_keys; });
   CHECK_EQ(partition_keys, 0);
@@ -108,35 +125,40 @@ TEST_CASE(EntropyMemoSharesTheByteBudgetAndLru) {
   // The fourth insert recycles the segment's least-recently-used entry:
   // AttrSet(1) (its promotion predates the later inserts) goes, the rest
   // stay — true LRU within the memo segment, partitions never touched.
-  cache.PutEntropy(AttrSet(2), 2.5);
-  cache.PutEntropy(AttrSet(4), 3.5);
-  cache.PutEntropy(AttrSet(8), 4.5);
+  cache.PutEntropy(AttrSet(2), 2.5, &st);
+  cache.PutEntropy(AttrSet(4), 3.5, &st);
+  cache.PutEntropy(AttrSet(8), 4.5, &st);
   CHECK(!cache.GetEntropy(AttrSet(1), &h));
   CHECK(cache.GetEntropy(AttrSet(4), &h));
   CHECK(cache.GetEntropy(AttrSet(8), &h));
-  CHECK_EQ(cache.stats().value_insertions, 4u);
-  CHECK_EQ(cache.stats().evictions, 1u);
-  CHECK(cache.stats().bytes <= cache.capacity_bytes());
+  CHECK_EQ(st.value_insertions, 4u);
+  CHECK_EQ(st.evictions, 1u);
+  CHECK(cache.bytes() <= cache.capacity_bytes());
 }
 
 TEST_CASE(EntropyMemoAttachesToPartitionEntries) {
-  PliCache cache(size_t{1} << 20);
-  cache.Put(AttrSet(1), MakePartition(64));
-  const size_t bytes_before = cache.stats().bytes;
-  cache.PutEntropy(AttrSet(1), 7.0);  // rides the resident entry for free
-  CHECK_EQ(cache.stats().bytes, bytes_before);
+  PliCache cache(size_t{1} << 20, /*num_stripes=*/1);
+  PliCache::Stats st;
+  cache.Put(AttrSet(1), MakePartition(64), &st);
+  const size_t bytes_before = cache.bytes();
+  cache.PutEntropy(AttrSet(1), 7.0, &st);  // rides the resident entry free
+  CHECK_EQ(cache.bytes(), bytes_before);
   double h = 0.0;
   CHECK(cache.GetEntropy(AttrSet(1), &h));
   CHECK_NEAR(h, 7.0, 0.0);
 
   // Upgrading a value-only entry to a partition entry keeps the memo and
   // re-charges the entry at the partition's cost.
-  cache.PutEntropy(AttrSet(2), 9.0);
-  const size_t with_value = cache.stats().bytes;
-  CHECK(cache.Put(AttrSet(2), MakePartition(64)) != nullptr);
-  CHECK_EQ(cache.stats().bytes,
-           with_value - PliCache::kValueEntryBytes +
-               MakePartition(64).MemoryBytes());
+  cache.PutEntropy(AttrSet(2), 9.0, &st);
+  const size_t with_value = cache.bytes();
+  const size_t resident_cost = [&] {
+    StrippedPartition p = MakePartition(64);
+    p.ShrinkToFit();
+    return p.MemoryBytes();
+  }();
+  CHECK(cache.Put(AttrSet(2), MakePartition(64), &st) != nullptr);
+  CHECK_EQ(cache.bytes(),
+           with_value - PliCache::kValueEntryBytes + resident_cost);
   CHECK(cache.Contains(AttrSet(2)));
   CHECK(cache.GetEntropy(AttrSet(2), &h));
   CHECK_NEAR(h, 9.0, 0.0);
@@ -144,72 +166,197 @@ TEST_CASE(EntropyMemoAttachesToPartitionEntries) {
 
 TEST_CASE(PartitionInsertShedsMemoEntriesToHoldBudget) {
   const size_t big = MakePartition(2048).MemoryBytes();
-  PliCache cache(big + PliCache::kValueEntryBytes);
-  cache.PutEntropy(AttrSet(2), 1.0);
-  cache.PutEntropy(AttrSet(4), 2.0);
-  CHECK(cache.stats().bytes == 2 * PliCache::kValueEntryBytes);
+  PliCache cache(big + PliCache::kValueEntryBytes, /*num_stripes=*/1);
+  PliCache::Stats st;
+  cache.PutEntropy(AttrSet(2), 1.0, &st);
+  cache.PutEntropy(AttrSet(4), 2.0, &st);
+  CHECK(cache.bytes() == 2 * PliCache::kValueEntryBytes);
   // The near-capacity partition fits only if memo entries are shed: the
   // budget invariant must hold after the insert.
-  CHECK(cache.Put(AttrSet(1), MakePartition(2048)) != nullptr);
+  CHECK(cache.Put(AttrSet(1), MakePartition(2048), &st) != nullptr);
   CHECK(cache.Contains(AttrSet(1)));
-  CHECK(cache.stats().bytes <= cache.capacity_bytes());
+  CHECK(cache.bytes() <= cache.capacity_bytes());
 }
 
 TEST_CASE(EvictedPartitionKeepsItsMemoAsValueEntry) {
   const size_t entry_bytes = MakePartition(256).MemoryBytes();
-  PliCache cache(8 * entry_bytes);  // memo quota = entry_bytes: plenty
-  cache.Put(AttrSet(1), MakePartition(256));
-  cache.PutEntropy(AttrSet(1), 3.25);
+  // Memo quota = entry_bytes: plenty. One stripe: exact LRU.
+  PliCache cache(8 * entry_bytes, /*num_stripes=*/1);
+  PliCache::Stats st;
+  cache.Put(AttrSet(1), MakePartition(256), &st);
+  cache.PutEntropy(AttrSet(1), 3.25, &st);
   // Push key 1 out of the partition set with eight fresh partitions.
   for (int k = 1; k <= 8; ++k) {
-    cache.Put(AttrSet(uint64_t{1} << (k + 1)), MakePartition(256));
+    cache.Put(AttrSet(uint64_t{1} << (k + 1)), MakePartition(256), &st);
   }
   CHECK(!cache.Contains(AttrSet(1)));  // partition evicted...
   double h = 0.0;
   CHECK(cache.GetEntropy(AttrSet(1), &h));  // ...but the memo survived
   CHECK_NEAR(h, 3.25, 0.0);
-  CHECK(cache.stats().bytes <= cache.capacity_bytes());
+  CHECK(cache.bytes() <= cache.capacity_bytes());
 }
 
 TEST_CASE(MemoInsertNeverDisplacesAPartition) {
   const size_t part_bytes = MakePartition(256).MemoryBytes();
-  PliCache cache(part_bytes + PliCache::kValueEntryBytes / 2);
-  const StrippedPartition* resident = cache.Put(AttrSet(1), MakePartition(256));
+  PliCache cache(part_bytes + PliCache::kValueEntryBytes / 2,
+                 /*num_stripes=*/1);
+  PliCache::Stats st;
+  const PliCache::PartitionRef resident =
+      cache.Put(AttrSet(1), MakePartition(256), &st);
   CHECK(resident != nullptr);
   // No room for a value entry without evicting the partition: the memo is
-  // skipped, the resident pointer stays valid, and the budget holds.
-  cache.PutEntropy(AttrSet(2), 5.0);
+  // skipped, the resident ref stays valid, and the budget holds.
+  cache.PutEntropy(AttrSet(2), 5.0, &st);
   CHECK(cache.Contains(AttrSet(1)));
   CHECK_EQ(resident->NumRows(), size_t{256});
   double h = 0.0;
   CHECK(!cache.GetEntropy(AttrSet(2), &h));
-  CHECK_EQ(cache.stats().evictions, 0u);
-  CHECK(cache.stats().bytes <= cache.capacity_bytes());
+  CHECK_EQ(st.evictions, 0u);
+  CHECK(cache.bytes() <= cache.capacity_bytes());
 }
 
 TEST_CASE(MemoInsertHoldsTheTotalBudgetOnNearFullCache) {
   // Partition fills the cache but leaves the memo quota nominally open:
   // PutEntropy must still respect the TOTAL budget (skip, not overflow).
   const size_t part_bytes = MakePartition(2048).MemoryBytes();
-  PliCache cache(part_bytes + PliCache::kValueEntryBytes / 2);
-  CHECK(cache.Put(AttrSet(1), MakePartition(2048)) != nullptr);
-  cache.PutEntropy(AttrSet(2), 5.0);
+  PliCache cache(part_bytes + PliCache::kValueEntryBytes / 2,
+                 /*num_stripes=*/1);
+  PliCache::Stats st;
+  CHECK(cache.Put(AttrSet(1), MakePartition(2048), &st) != nullptr);
+  cache.PutEntropy(AttrSet(2), 5.0, &st);
   double h = 0.0;
   CHECK(!cache.GetEntropy(AttrSet(2), &h));
   CHECK(cache.Contains(AttrSet(1)));
-  CHECK(cache.stats().bytes <= cache.capacity_bytes());
+  CHECK(cache.bytes() <= cache.capacity_bytes());
 }
 
 TEST_CASE(RefreshingAKeyUpdatesBytesWithoutDoubleCounting) {
-  PliCache cache(size_t{1} << 20);
-  cache.Put(AttrSet(1), MakePartition(64));
-  const size_t bytes_small = cache.stats().bytes;
-  cache.Put(AttrSet(1), MakePartition(512));
+  PliCache cache(size_t{1} << 20, /*num_stripes=*/1);
+  PliCache::Stats st;
+  cache.Put(AttrSet(1), MakePartition(64), &st);
+  const size_t bytes_small = cache.bytes();
+  cache.Put(AttrSet(1), MakePartition(512), &st);
   CHECK_EQ(cache.size(), 1u);
-  CHECK(cache.stats().bytes > bytes_small);
-  cache.Put(AttrSet(1), MakePartition(64));
+  CHECK(cache.bytes() > bytes_small);
+  cache.Put(AttrSet(1), MakePartition(64), &st);
   CHECK_EQ(cache.size(), 1u);
-  CHECK_EQ(cache.stats().insertions, 1u);
+  CHECK_EQ(st.insertions, 1u);
+}
+
+TEST_CASE(ShrinkToFitIsChargedNotTheIntersectOverallocation) {
+  // Identity partitions are built exactly sized, so MemoryBytes() before
+  // and after ShrinkToFit agree — and Put must charge that same number.
+  PliCache cache(size_t{1} << 20, /*num_stripes=*/1);
+  PliCache::Stats st;
+  StrippedPartition p = MakePartition(512);
+  p.ShrinkToFit();
+  const size_t fit_bytes = p.MemoryBytes();
+  cache.Put(AttrSet(1), std::move(p), &st);
+  CHECK_EQ(cache.bytes(), fit_bytes);
+}
+
+// Eight threads of mixed Get/Put/memo traffic against a cache sized to
+// force constant eviction. Checks the concurrency contract:
+//   * bytes() <= capacity at EVERY observation (reservation-before-insert);
+//   * per-thread Stats fold exactly: hits + misses == the known number of
+//     Get calls issued across all threads;
+//   * returned refs stay readable under concurrent eviction (ASan/TSan
+//     make this a real check, not a formality);
+//   * memo values are never torn: a GetEntropy hit returns exactly the
+//     value some thread wrote for that key.
+TEST_CASE(ConcurrentMixedTrafficHoldsInvariantsAndFoldsCountersExactly) {
+  const size_t entry_bytes = MakePartition(128).MemoryBytes();
+  PliCache cache(6 * entry_bytes + PliCache::kValueEntryBytes * 8);
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 4000;
+  constexpr uint64_t kKeySpace = 24;  // >> resident capacity: churn
+
+  std::vector<PliCache::Stats> per_thread(kThreads);
+  std::vector<uint64_t> gets_issued(kThreads, 0);
+  std::atomic<bool> budget_ok{true};
+  std::atomic<bool> values_ok{true};
+  std::atomic<bool> refs_ok{true};
+
+  const auto expected_value = [](uint64_t key_bits) {
+    return 0.5 + static_cast<double>(key_bits);
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      PliCache::Stats& st = per_thread[static_cast<size_t>(t)];
+      // SplitMix64 per-thread stream: deterministic, no shared RNG state.
+      uint64_t x = 0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(t + 1);
+      const auto next = [&x] {
+        x += 0x9e3779b97f4a7c15ULL;
+        uint64_t z = x;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+      };
+      for (int op = 0; op < kOpsPerThread; ++op) {
+        const uint64_t r = next();
+        const AttrSet key(uint64_t{1} << (r % kKeySpace));
+        switch ((r >> 32) % 4) {
+          case 0: {
+            const PliCache::PartitionRef ref = cache.Get(key, &st);
+            ++gets_issued[static_cast<size_t>(t)];
+            if (ref != nullptr && ref->NumRows() != 128) {
+              refs_ok.store(false, std::memory_order_relaxed);
+            }
+            break;
+          }
+          case 1: {
+            const PliCache::PartitionRef ref =
+                cache.Put(key, MakePartition(128), &st);
+            // Entry cost << capacity, so Put cannot reject; the returned
+            // pin must be readable even if evicted immediately after.
+            if (ref == nullptr || ref->NumRows() != 128) {
+              refs_ok.store(false, std::memory_order_relaxed);
+            }
+            break;
+          }
+          case 2:
+            cache.PutEntropy(key, expected_value(key.bits()), &st);
+            break;
+          default: {
+            double h = 0.0;
+            if (cache.GetEntropy(key, &h) &&
+                h != expected_value(key.bits())) {
+              values_ok.store(false, std::memory_order_relaxed);
+            }
+            break;
+          }
+        }
+        if (cache.bytes() > cache.capacity_bytes()) {
+          budget_ok.store(false, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  CHECK(budget_ok.load());
+  CHECK(values_ok.load());
+  CHECK(refs_ok.load());
+  CHECK(cache.bytes() <= cache.capacity_bytes());
+
+  // Exact fold: no counter increments were lost or double-counted.
+  PliCache::Stats total;
+  uint64_t total_gets = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    total.AccumulateCounters(per_thread[static_cast<size_t>(t)]);
+    total_gets += gets_issued[static_cast<size_t>(t)];
+  }
+  CHECK_EQ(total.hits + total.misses, total_gets);
+  std::printf("  %d threads x %d ops: %llu hits / %llu gets, %llu evictions,"
+              " %zu resident bytes\n",
+              kThreads, kOpsPerThread,
+              static_cast<unsigned long long>(total.hits),
+              static_cast<unsigned long long>(total_gets),
+              static_cast<unsigned long long>(total.evictions),
+              cache.bytes());
 }
 
 }  // namespace
