@@ -45,7 +45,9 @@ void PrintSchemeRow(const SchemeRow& row) {
               row.schema.c_str());
 }
 
-void Run(double budget_per_eps, size_t max_schemas, bool json) {
+void Run(double budget_per_eps, size_t max_schemas, bool json,
+         const std::string& trace_path, const std::string& metrics_path) {
+  ObsSession obs(trace_path, metrics_path);
   Relation nursery = NurseryDataset();
   if (!json) {
     Header("Figures 10-11: Nursery use case",
@@ -62,6 +64,7 @@ void Run(double budget_per_eps, size_t max_schemas, bool json) {
     config.mvd_budget_seconds = budget_per_eps;
     config.schema_budget_seconds = budget_per_eps;
     config.schemas.max_schemas = max_schemas;
+    config.sink = obs.sink();
     Maimon maimon(nursery, config);
     AsMinerResult schemas = maimon.MineSchemas();
 
@@ -73,8 +76,10 @@ void Run(double budget_per_eps, size_t max_schemas, bool json) {
     rank_options.top_k = schemas.schemas.size();
     rank_options.primary = RankKey::kJMeasure;
     rank_options.budget_seconds = budget_per_eps;
+    rank_options.sink = obs.sink();
     RankResult ranked =
         RankSchemes(nursery, schemas.schemas, maimon.oracle(), rank_options);
+    FoldEngineMetrics(obs.sink(), maimon.engine().stats());
     for (RankedScheme& s : ranked.ranked) {
       all.push_back({eps, s.report, s.schema.ToString()});
     }
@@ -154,6 +159,8 @@ int main(int argc, char** argv) {
   double budget = 5.0;
   size_t max_schemas = 200;
   bool json = false;
+  std::string trace_path;
+  std::string metrics_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--budget=", 9) == 0) {
       budget = std::atof(argv[i] + 9);
@@ -161,11 +168,13 @@ int main(int argc, char** argv) {
       max_schemas = static_cast<size_t>(std::atoll(argv[i] + 14));
     } else if (std::strcmp(argv[i], "--json") == 0) {
       json = true;
+    } else if (maimon::bench::ParseObsFlag(argv[i], &trace_path,
+                                           &metrics_path)) {
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
       return 2;
     }
   }
-  maimon::bench::Run(budget, max_schemas, json);
+  maimon::bench::Run(budget, max_schemas, json, trace_path, metrics_path);
   return 0;
 }

@@ -35,7 +35,7 @@ double Quantile(std::vector<double> v, double q) {
 }
 
 void RunDataset(const std::string& label, const Relation& relation,
-                double budget, size_t max_schemas) {
+                double budget, size_t max_schemas, obs::Sink* sink) {
   std::printf("\n(%s) rows=%zu cols=%d\n", label.c_str(), relation.NumRows(),
               relation.NumCols());
   // Bucket boundaries echo the paper's x-axes.
@@ -48,8 +48,10 @@ void RunDataset(const std::string& label, const Relation& relation,
     config.mvd_budget_seconds = budget;
     config.schema_budget_seconds = budget;
     config.schemas.max_schemas = max_schemas;
+    config.sink = sink;
     Maimon maimon(relation, config);
     AsMinerResult schemas = maimon.MineSchemas();
+    FoldEngineMetrics(sink, maimon.engine().stats());
     for (const MinedSchema& s : schemas.schemas) {
       SchemaReport report = EvaluateSchema(relation, s.schema,
                                            maimon.oracle());
@@ -78,15 +80,17 @@ void RunDataset(const std::string& label, const Relation& relation,
   }
 }
 
-void Run(double budget, size_t max_schemas) {
+void Run(double budget, size_t max_schemas, const std::string& trace_path,
+         const std::string& metrics_path) {
+  ObsSession obs(trace_path, metrics_path);
   Header("Figure 12: spurious tuples vs J-measure",
          "schemes from eps sweep [0,0.5], bucketed by J(S); expect E to "
          "rise monotonically with J");
   for (const char* name : {"Breast-Cancer", "Bridges", "Echocardiogram"}) {
     PlantedDataset d = LoadShaped(name, /*row_cap=*/4000);
-    RunDataset(name, d.relation, budget, max_schemas);
+    RunDataset(name, d.relation, budget, max_schemas, obs.sink());
   }
-  RunDataset("Nursery", NurseryDataset(), budget, max_schemas);
+  RunDataset("Nursery", NurseryDataset(), budget, max_schemas, obs.sink());
 }
 
 }  // namespace
@@ -96,13 +100,17 @@ void Run(double budget, size_t max_schemas) {
 int main(int argc, char** argv) {
   double budget = 3.0;
   size_t max_schemas = 120;
+  std::string trace_path;
+  std::string metrics_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--budget=", 9) == 0) {
       budget = std::atof(argv[i] + 9);
     } else if (std::strncmp(argv[i], "--max-schemas=", 14) == 0) {
       max_schemas = static_cast<size_t>(std::atoll(argv[i] + 14));
+    } else if (maimon::bench::ParseObsFlag(argv[i], &trace_path,
+                                           &metrics_path)) {
     }
   }
-  maimon::bench::Run(budget, max_schemas);
+  maimon::bench::Run(budget, max_schemas, trace_path, metrics_path);
   return 0;
 }

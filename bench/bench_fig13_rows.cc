@@ -22,6 +22,7 @@ namespace bench {
 namespace {
 
 void Run(const MinSepsHarnessFlags& flags) {
+  ObsSession obs(flags.trace_path, flags.metrics_path);
   if (!flags.json) {
     Header("Figure 13: row scalability of minimal separator mining",
            "10%..100% of rows, all columns, eps in {0, 0.01, 0.1}; threads=" +
@@ -34,8 +35,9 @@ void Run(const MinSepsHarnessFlags& flags) {
     for (double frac : {0.1, 0.25, 0.5, 0.75, 1.0}) {
       Relation sample = d.relation.SampleRows(frac, /*seed=*/7);
       for (double eps : {0.0, 0.01, 0.1}) {
-        PairGridMinSeps run = MineAllMinSeps(sample, eps, flags.budget,
-                                             flags.num_threads, flags.options);
+        PairGridMinSeps run =
+            MineAllMinSeps(sample, eps, flags.budget, flags.num_threads,
+                           flags.options, obs.sink());
         PrintMinSepsRow(13, name, "rows", sample.NumRows(), eps, run,
                         flags.options, flags.json);
       }

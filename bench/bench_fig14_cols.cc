@@ -24,6 +24,7 @@ namespace bench {
 namespace {
 
 void Run(const MinSepsHarnessFlags& flags) {
+  ObsSession obs(flags.trace_path, flags.metrics_path);
   if (!flags.json) {
     Header("Figure 14: column scalability of minimal separator mining",
            "all rows (capped), 25%..100% of columns, eps in {0, 0.01, 0.1}; "
@@ -40,8 +41,9 @@ void Run(const MinSepsHarnessFlags& flags) {
       Relation narrowed =
           d.relation.ProjectWithDuplicates(AttrSet::Universe(ncols));
       for (double eps : {0.0, 0.01, 0.1}) {
-        PairGridMinSeps run = MineAllMinSeps(narrowed, eps, flags.budget,
-                                             flags.num_threads, flags.options);
+        PairGridMinSeps run =
+            MineAllMinSeps(narrowed, eps, flags.budget, flags.num_threads,
+                           flags.options, obs.sink());
         PrintMinSepsRow(14, name, "cols", static_cast<size_t>(ncols), eps,
                         run, flags.options, flags.json);
       }

@@ -30,7 +30,8 @@ namespace bench {
 namespace {
 
 void RunDataset(const std::string& label, const Relation& relation,
-                double budget, size_t max_schemas, bool json) {
+                double budget, size_t max_schemas, bool json,
+                obs::Sink* sink) {
   if (!json) {
     std::printf("\n(%s) rows=%zu cols=%d\n", label.c_str(),
                 relation.NumRows(), relation.NumCols());
@@ -55,6 +56,7 @@ void RunDataset(const std::string& label, const Relation& relation,
     // Bound the conflict graph on the wide/noisy shapes; enumeration is
     // already capped by max_schemas and the budget.
     config.schemas.max_conflict_mvds = 256;
+    config.sink = sink;
     Maimon maimon(relation, config);
     AsMinerResult schemas = maimon.MineSchemas();
     int max_relations = 0;
@@ -81,6 +83,7 @@ void RunDataset(const std::string& label, const Relation& relation,
       audit = maimon.DecomposeAndAudit(*best, audit_options);
       audited = true;
     }
+    FoldEngineMetrics(sink, maimon.engine().stats());
     const bool audit_tl = audited && audit.status.IsDeadlineExceeded();
     // "!" is reserved for a genuine DP-vs-materialized disagreement; a
     // failed audit (TL or a rejected scheme) prints its own marker so a
@@ -126,7 +129,9 @@ void RunDataset(const std::string& label, const Relation& relation,
   }
 }
 
-void Run(double budget, size_t max_schemas, bool json) {
+void Run(double budget, size_t max_schemas, bool json,
+         const std::string& trace_path, const std::string& metrics_path) {
+  ObsSession obs(trace_path, metrics_path);
   if (!json) {
     Header("Figure 15: quality of approximate schemas vs threshold",
            "per-eps enumeration budget " + FormatDouble(budget, 1) +
@@ -140,7 +145,7 @@ void Run(double budget, size_t max_schemas, bool json) {
                            "Bridges", "Echocardiogram", "FD_Reduced_15",
                            "Hepatitis"}) {
     PlantedDataset d = LoadShaped(name, /*row_cap=*/2000, /*quiet=*/json);
-    RunDataset(name, d.relation, budget, max_schemas, json);
+    RunDataset(name, d.relation, budget, max_schemas, json, obs.sink());
   }
 }
 
@@ -152,6 +157,8 @@ int main(int argc, char** argv) {
   double budget = 2.5;
   size_t max_schemas = 150;
   bool json = false;
+  std::string trace_path;
+  std::string metrics_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--budget=", 9) == 0) {
       budget = std::atof(argv[i] + 9);
@@ -159,11 +166,13 @@ int main(int argc, char** argv) {
       max_schemas = static_cast<size_t>(std::atoll(argv[i] + 14));
     } else if (std::strcmp(argv[i], "--json") == 0) {
       json = true;
+    } else if (maimon::bench::ParseObsFlag(argv[i], &trace_path,
+                                           &metrics_path)) {
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
       return 2;
     }
   }
-  maimon::bench::Run(budget, max_schemas, json);
+  maimon::bench::Run(budget, max_schemas, json, trace_path, metrics_path);
   return 0;
 }

@@ -23,7 +23,9 @@ namespace maimon {
 namespace bench {
 namespace {
 
-void Run(size_t row_cap, double budget, int num_threads) {
+void Run(size_t row_cap, double budget, int num_threads,
+         const std::string& trace_path, const std::string& metrics_path) {
+  ObsSession obs(trace_path, metrics_path);
   Header("Figure 18: minimal separators vs full MVDs",
          "getFullMVDsOpt with K=inf per separator; budget " +
              FormatDouble(budget, 1) + "s per (dataset, eps); threads=" +
@@ -35,8 +37,8 @@ void Run(size_t row_cap, double budget, int num_threads) {
                 "#fullMVDs", "time[s]", "rate[MVD/s]", "note");
     Rule(70);
     for (double eps : {0.0, 0.05, 0.1, 0.2, 0.3, 0.5}) {
-      TimedMvds mined =
-          MineMvdsTimed(d.relation, eps, budget, SIZE_MAX, num_threads);
+      TimedMvds mined = MineMvdsTimed(d.relation, eps, budget, SIZE_MAX,
+                                      num_threads, obs.sink());
       const double rate =
           mined.seconds > 0
               ? static_cast<double>(mined.result.NumMvds()) / mined.seconds
@@ -60,14 +62,18 @@ int main(int argc, char** argv) {
   size_t row_cap = 1500;
   double budget = 4.0;
   int num_threads = 1;
+  std::string trace_path;
+  std::string metrics_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--rows=", 7) == 0) {
       row_cap = static_cast<size_t>(std::atoll(argv[i] + 7));
     } else if (std::strncmp(argv[i], "--budget=", 9) == 0) {
       budget = std::atof(argv[i] + 9);
     } else if (maimon::bench::ParseThreadsFlag(argv[i], &num_threads)) {
+    } else if (maimon::bench::ParseObsFlag(argv[i], &trace_path,
+                                           &metrics_path)) {
     }
   }
-  maimon::bench::Run(row_cap, budget, num_threads);
+  maimon::bench::Run(row_cap, budget, num_threads, trace_path, metrics_path);
   return 0;
 }

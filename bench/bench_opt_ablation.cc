@@ -19,7 +19,9 @@ namespace maimon {
 namespace bench {
 namespace {
 
-void Run(int num_attrs, double eps, double budget) {
+void Run(int num_attrs, double eps, double budget,
+         const std::string& trace_path, const std::string& metrics_path) {
+  ObsSession obs(trace_path, metrics_path);
   Header("Ablation (App. 12.3): getFullMVDs vs getFullMVDsOpt",
          "planted noisy data, n=" + std::to_string(num_attrs) +
              ", eps=" + FormatDouble(eps, 2));
@@ -75,8 +77,16 @@ void Run(int num_attrs, double eps, double budget) {
       Deadline deadline = Deadline::After(budget);
       FullMvdSearch search(calc, eps, &deadline);
       Stopwatch watch;
-      auto found = search.Find(key, AttrSet::Universe(num_attrs), a, b,
-                               SIZE_MAX, optimized);
+      std::vector<Mvd> found;
+      {
+        obs::Span span(obs.sink(),
+                       optimized ? "mvd.expand.opt" : "mvd.expand.plain");
+        span.Arg("a", a);
+        span.Arg("b", b);
+        found = search.Find(key, AttrSet::Universe(num_attrs), a, b,
+                            SIZE_MAX, optimized);
+        span.Arg("nodes", search.stats().nodes_pushed);
+      }
       const double ms = watch.ElapsedMillis();
       std::printf("%-18s (%d,%d) | %12llu %12llu %10.2f | %8zu %s\n",
                   (key.ToString() + (optimized ? " [opt]" : " [plain]"))
@@ -90,6 +100,7 @@ void Run(int num_attrs, double eps, double budget) {
           search.stats().nodes_pushed;
     }
   }
+  FoldEngineMetrics(obs.sink(), engine.stats());
   Rule(76);
   std::printf("total nodes: plain=%llu opt=%llu (reduction %.1fx)\n",
               static_cast<unsigned long long>(total_plain_nodes),
@@ -107,6 +118,8 @@ int main(int argc, char** argv) {
   int n = 11;
   double eps = 0.2;
   double budget = 5.0;
+  std::string trace_path;
+  std::string metrics_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--attrs=", 8) == 0) {
       n = std::atoi(argv[i] + 8);
@@ -114,8 +127,10 @@ int main(int argc, char** argv) {
       eps = std::atof(argv[i] + 6);
     } else if (std::strncmp(argv[i], "--budget=", 9) == 0) {
       budget = std::atof(argv[i] + 9);
+    } else if (maimon::bench::ParseObsFlag(argv[i], &trace_path,
+                                           &metrics_path)) {
     }
   }
-  maimon::bench::Run(n, eps, budget);
+  maimon::bench::Run(n, eps, budget, trace_path, metrics_path);
   return 0;
 }

@@ -19,7 +19,9 @@ namespace maimon {
 namespace bench {
 namespace {
 
-void Run(size_t row_cap, double budget_seconds) {
+void Run(size_t row_cap, double budget_seconds,
+         const std::string& trace_path, const std::string& metrics_path) {
+  ObsSession obs(trace_path, metrics_path);
   Header("Table 2: full MVD mining at threshold 0.0",
          "budget " + FormatDouble(budget_seconds, 1) +
              "s/dataset (paper: 5h); rows capped at " +
@@ -34,8 +36,9 @@ void Run(size_t row_cap, double budget_seconds) {
               static_cast<double>(shape.paper_rows);
     }
     PlantedDataset d = GenerateShaped(shape, scale);
-    TimedMvds mined = MineMvdsTimed(d.relation, /*epsilon=*/0.0,
-                                    budget_seconds);
+    TimedMvds mined =
+        MineMvdsTimed(d.relation, /*epsilon=*/0.0, budget_seconds, SIZE_MAX,
+                      /*num_threads=*/1, obs.sink());
     const char* timeout_mark =
         mined.result.status.IsDeadlineExceeded() ? "TL" : "  ";
     std::string paper_time = shape.paper_timed_out
@@ -58,13 +61,17 @@ void Run(size_t row_cap, double budget_seconds) {
 int main(int argc, char** argv) {
   size_t row_cap = 2000;
   double budget = 6.0;
+  std::string trace_path;
+  std::string metrics_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--rows=", 7) == 0) {
       row_cap = static_cast<size_t>(std::atoll(argv[i] + 7));
     } else if (std::strncmp(argv[i], "--budget=", 9) == 0) {
       budget = std::atof(argv[i] + 9);
+    } else if (maimon::bench::ParseObsFlag(argv[i], &trace_path,
+                                           &metrics_path)) {
     }
   }
-  maimon::bench::Run(row_cap, budget);
+  maimon::bench::Run(row_cap, budget, trace_path, metrics_path);
   return 0;
 }

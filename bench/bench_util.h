@@ -18,16 +18,99 @@
 #include <utility>
 #include <vector>
 
+#include <memory>
+
 #include "core/maimon.h"
 #include "core/min_seps.h"
 #include "core/pair_grid.h"
 #include "data/metanome_shapes.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
 
 namespace maimon {
 namespace bench {
+
+/// Owns the optional observability sink of a bench run. Constructed from
+/// the shared --trace=FILE / --metrics=FILE flags: when neither is given
+/// sink() is null and the whole pipeline runs uninstrumented (the
+/// zero-overhead-off contract of obs/trace.h). Finish() — also run by the
+/// destructor — writes the Chrome trace and/or metrics JSONL and prints
+/// the per-phase table to stderr, after all pools are joined.
+class ObsSession {
+ public:
+  ObsSession(std::string trace_path, std::string metrics_path)
+      : trace_path_(std::move(trace_path)),
+        metrics_path_(std::move(metrics_path)) {
+    if (!trace_path_.empty() || !metrics_path_.empty()) {
+      sink_ = std::make_unique<obs::Sink>();
+    }
+  }
+  ~ObsSession() { Finish(); }
+
+  obs::Sink* sink() { return sink_.get(); }
+
+  void Finish() {
+    if (sink_ == nullptr) return;
+    if (!trace_path_.empty()) {
+      if (obs::WriteTraceFile(*sink_, trace_path_)) {
+        std::fprintf(stderr, "[obs] trace written to %s\n",
+                     trace_path_.c_str());
+      } else {
+        std::fprintf(stderr, "[obs] FAILED to write trace %s\n",
+                     trace_path_.c_str());
+      }
+    }
+    if (!metrics_path_.empty()) {
+      if (obs::WriteMetricsFile(*sink_, metrics_path_)) {
+        std::fprintf(stderr, "[obs] metrics written to %s\n",
+                     metrics_path_.c_str());
+      } else {
+        std::fprintf(stderr, "[obs] FAILED to write metrics %s\n",
+                     metrics_path_.c_str());
+      }
+    }
+    obs::WritePhaseTable(*sink_, stderr);
+    sink_.reset();
+  }
+
+ private:
+  std::string trace_path_;
+  std::string metrics_path_;
+  std::unique_ptr<obs::Sink> sink_;
+};
+
+/// Shared --trace=FILE / --metrics=FILE flag parsing: every figure harness
+/// accepts these two, feeding an ObsSession. Returns true when `arg` was
+/// one of them.
+inline bool ParseObsFlag(const char* arg, std::string* trace_path,
+                         std::string* metrics_path) {
+  if (std::strncmp(arg, "--trace=", 8) == 0) {
+    *trace_path = arg + 8;
+    return true;
+  }
+  if (std::strncmp(arg, "--metrics=", 10) == 0) {
+    *metrics_path = arg + 10;
+    return true;
+  }
+  return false;
+}
+
+/// Folds an engine's counters into the sink (under a `cache.fold` span so
+/// the cache phase is visible in the trace). Call once per engine, at the
+/// end of the instrumented region — see AppendEngineMetrics.
+inline void FoldEngineMetrics(obs::Sink* sink,
+                              const PliEntropyEngine::Stats& stats) {
+  if (sink == nullptr) return;
+  obs::Span span(sink, "cache.fold");
+  span.Arg("hits", stats.cache.hits);
+  span.Arg("misses", stats.cache.misses);
+  obs::MetricsRegistry registry;
+  AppendEngineMetrics(stats, &registry);
+  sink->Fold(registry);
+}
 
 /// Prints a horizontal rule sized to `width`.
 inline void Rule(int width = 78) {
@@ -97,18 +180,21 @@ struct TimedMvds {
 inline TimedMvds MineMvdsTimed(const Relation& relation, double epsilon,
                                double budget_seconds,
                                size_t k_per_separator = SIZE_MAX,
-                               int num_threads = 1) {
+                               int num_threads = 1,
+                               obs::Sink* sink = nullptr) {
   MaimonConfig config;
   config.epsilon = epsilon;
   config.mvd_budget_seconds = budget_seconds;
   config.mvd.max_full_mvds_per_separator = k_per_separator;
   config.num_threads = num_threads;
+  config.sink = sink;
   Maimon maimon(relation, config);
   Stopwatch watch;
   TimedMvds out;
   out.result = maimon.MineMvds();
   out.seconds = watch.ElapsedSeconds();
   out.threads_used = PairGridThreads(relation.NumCols(), num_threads);
+  FoldEngineMetrics(sink, maimon.engine().stats());
   return out;
 }
 
@@ -133,7 +219,8 @@ struct PairGridMinSeps {
 
 inline PairGridMinSeps MineAllMinSeps(
     const Relation& relation, double eps, double budget_seconds,
-    int num_threads, const MinSepsOptions& options = MinSepsOptions()) {
+    int num_threads, const MinSepsOptions& options = MinSepsOptions(),
+    obs::Sink* sink = nullptr) {
   PliEntropyEngine engine(relation);
   Deadline deadline = Deadline::After(budget_seconds);
   const AttrSet universe = relation.Universe();
@@ -146,9 +233,13 @@ inline PairGridMinSeps MineAllMinSeps(
   const PairGridRun run = ForEachPairSharded(
       &engine, n, num_threads, &deadline,
       [&](const InfoCalc& calc, size_t i, int a, int b) {
+        obs::Span span(sink, "minsep.walk");
+        span.Arg("a", a);
+        span.Arg("b", b);
         FullMvdSearch search(calc, eps, &deadline);
         per_pair[i] = MineMinSeps(&search, universe, a, b, &deadline, options);
-      });
+      },
+      sink);
 
   std::unordered_set<AttrSet, AttrSetHash> seps;
   for (const MinSepsResult& result : per_pair) {
@@ -161,6 +252,19 @@ inline PairGridMinSeps MineAllMinSeps(
   out.seconds = watch.ElapsedSeconds();
   out.threads_used = run.threads_used;
   out.entropy_queries = engine.NumQueries();
+
+  if (sink != nullptr) {
+    // Semantic counters fold once, from the deterministic merge above —
+    // never from the sharded workers (obs/trace.h's fold discipline).
+    obs::MetricsRegistry phase;
+    phase.Count("minsep.seeds", out.stats.seeds);
+    phase.Count("minsep.expansions", out.stats.expansions);
+    phase.Count("minsep.oracle_calls", out.stats.oracle_calls);
+    phase.Count("mine.pairs", static_cast<uint64_t>(run.num_pairs));
+    phase.Count("mine.separators", out.separators);
+    sink->Fold(phase);
+    FoldEngineMetrics(sink, engine.stats());
+  }
   return out;
 }
 
@@ -273,14 +377,17 @@ inline bool ParseThreadsFlag(const char* arg, int* num_threads) {
 
 /// Shared knob set + argv parsing for the separator harnesses: --rows=N,
 /// --budget=S, --exhaustive (lattice-sweep oracle), --json (JSONL rows),
-/// and --threads=N / -tN. Unknown arguments are rejected (exit 2) — the
-/// mode flags change what gets measured, so a typo must not silently
-/// record the wrong mode's numbers.
+/// --threads=N / -tN, and --trace=FILE / --metrics=FILE (ObsSession).
+/// Unknown arguments are rejected (exit 2) — the mode flags change what
+/// gets measured, so a typo must not silently record the wrong mode's
+/// numbers.
 struct MinSepsHarnessFlags {
   size_t row_cap = 0;
   double budget = 5.0;
   int num_threads = 1;
   bool json = false;
+  std::string trace_path;
+  std::string metrics_path;
   MinSepsOptions options;
 };
 
@@ -298,6 +405,8 @@ inline MinSepsHarnessFlags ParseMinSepsHarnessFlags(int argc, char** argv,
     } else if (std::strcmp(argv[i], "--json") == 0) {
       flags.json = true;
     } else if (ParseThreadsFlag(argv[i], &flags.num_threads)) {
+    } else if (ParseObsFlag(argv[i], &flags.trace_path,
+                            &flags.metrics_path)) {
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
       std::exit(2);

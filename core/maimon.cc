@@ -47,22 +47,35 @@ PairMineResult MineOnePair(const InfoCalc& calc, const MaimonConfig& config,
   }
 
   FullMvdSearch search(calc, config.epsilon, &slice);
-  MinSepsResult seps =
-      MineMinSeps(&search, universe, a, b, &slice, config.mvd.min_seps);
+  MinSepsResult seps;
+  {
+    obs::Span span(config.sink, "minsep.walk");
+    seps = MineMinSeps(&search, universe, a, b, &slice, config.mvd.min_seps);
+    span.Arg("a", a);
+    span.Arg("b", b);
+    span.Arg("seps", seps.separators.size());
+    span.Arg("oracle_calls", seps.stats.oracle_calls);
+  }
   out.min_sep_stats = seps.stats;
   if (!seps.status.ok()) out.status = seps.status;
 
-  for (AttrSet s : seps.separators) {
-    out.separators.push_back(s);
-    for (Mvd& mvd :
-         search.Find(s, universe, a, b, config.mvd.max_full_mvds_per_separator,
-                     /*optimized=*/true)) {
-      out.mvds.push_back(std::move(mvd));
+  {
+    obs::Span span(config.sink, "mvd.expand");
+    for (AttrSet s : seps.separators) {
+      out.separators.push_back(s);
+      for (Mvd& mvd : search.Find(s, universe, a, b,
+                                  config.mvd.max_full_mvds_per_separator,
+                                  /*optimized=*/true)) {
+        out.mvds.push_back(std::move(mvd));
+      }
+      if (slice.Expired()) {
+        out.status = Status::DeadlineExceeded("full MVD expansion");
+        break;
+      }
     }
-    if (slice.Expired()) {
-      out.status = Status::DeadlineExceeded("full MVD expansion");
-      break;
-    }
+    span.Arg("a", a);
+    span.Arg("b", b);
+    span.Arg("mvds", out.mvds.size());
   }
   return out;
 }
@@ -79,6 +92,7 @@ const MvdMinerResult& Maimon::MineMvds() {
   if (mvds_mined_) return mvd_result_;
   mvds_mined_ = true;
 
+  obs::Span mine_span(config_.sink, "mine.mvds");
   MvdMinerResult& result = mvd_result_;
   const Deadline global = config_.mvd_budget_seconds > 0
                               ? Deadline::After(config_.mvd_budget_seconds)
@@ -93,11 +107,15 @@ const MvdMinerResult& Maimon::MineMvds() {
       [&](const InfoCalc& calc, size_t i, int a, int b) {
         per_pair[i] = MineOnePair(calc, config_, universe, a, b,
                                   static_cast<int>(i), num_pairs, global);
-      });
+      },
+      config_.sink);
   const bool completed = run.completed;
 
   // Deterministic merge: pairs in (a, b) lexicographic rank order, dedup by
   // first occurrence — byte-identical to the sequential walk's output.
+  // Phase counters fold from this single canonical loop (never from the
+  // sharded workers), so totals are exact at any thread count.
+  MinSepsStats walk_stats;
   std::unordered_set<AttrSet, AttrSetHash> sep_set;
   std::unordered_set<Mvd, MvdHash> mvd_set;
   for (PairMineResult& pr : per_pair) {
@@ -107,27 +125,51 @@ const MvdMinerResult& Maimon::MineMvds() {
     for (Mvd& mvd : pr.mvds) {
       if (mvd_set.insert(mvd).second) result.mvds.push_back(std::move(mvd));
     }
-    result.min_sep_stats.Accumulate(pr.min_sep_stats);
+    walk_stats.Accumulate(pr.min_sep_stats);
     if (result.status.ok() && !pr.status.ok()) result.status = pr.status;
   }
   if (!completed && result.status.ok()) {
     result.status = Status::DeadlineExceeded("MVD mining budget");
   }
+
+  obs::MetricsRegistry phase;
+  phase.Count("minsep.seeds", walk_stats.seeds);
+  phase.Count("minsep.expansions", walk_stats.expansions);
+  phase.Count("minsep.oracle_calls", walk_stats.oracle_calls);
+  phase.Count("mine.pairs", static_cast<uint64_t>(num_pairs));
+  phase.Count("mine.separators", result.separators.size());
+  phase.Count("mine.mvds", result.mvds.size());
+  metrics_.Merge(phase);
+  if (config_.sink != nullptr) config_.sink->Fold(phase);
+
+  mine_span.Arg("pairs", num_pairs);
+  mine_span.Arg("mvds", result.mvds.size());
+  mine_span.Arg("threads", run.threads_used);
   return result;
+}
+
+MinSepsStats Maimon::min_sep_stats() const {
+  MinSepsStats stats;
+  stats.seeds = metrics_.counter("minsep.seeds");
+  stats.expansions = metrics_.counter("minsep.expansions");
+  stats.oracle_calls = metrics_.counter("minsep.oracle_calls");
+  return stats;
 }
 
 DecompositionAudit Maimon::DecomposeAndAudit(
     const MinedSchema& scheme, const DecompAuditOptions& options) const {
-  // The facade's thread knob covers the whole pipeline: callers that left
-  // the audit's own knob at its sequential default inherit it.
+  // The facade's thread and sink knobs cover the whole pipeline: callers
+  // that left the audit's own knobs at their defaults inherit them.
   DecompAuditOptions resolved = options;
   if (resolved.num_threads == 1) resolved.num_threads = config_.num_threads;
+  if (resolved.sink == nullptr) resolved.sink = config_.sink;
   return maimon::DecomposeAndAudit(*relation_, scheme.schema, *calc_,
                                    resolved);
 }
 
 AsMinerResult Maimon::MineSchemas() {
   const MvdMinerResult& mined = MineMvds();
+  obs::Span schemas_span(config_.sink, "assemble.schemas");
   const Deadline deadline =
       config_.schema_budget_seconds > 0
           ? Deadline::After(config_.schema_budget_seconds)
@@ -136,11 +178,23 @@ AsMinerResult Maimon::MineSchemas() {
   AsMinerResult result;
   result.status = mined.status;
   const AttrSet universe = relation_->Universe();
+  // Assembly counters fold from the final (canonically merged) result, once
+  // per MineSchemas call, on every return path.
+  const auto fold_assembly = [this](const AsMinerResult& r) {
+    obs::MetricsRegistry phase;
+    phase.Count("assemble.independent_sets", r.independent_sets);
+    phase.Count("assemble.schemes", r.schemas.size());
+    phase.Count("assemble.conflict_vertices", r.conflict_vertices);
+    phase.Count("assemble.conflict_edges", r.conflict_edges);
+    metrics_.Merge(phase);
+    if (config_.sink != nullptr) config_.sink->Fold(phase);
+  };
   // Each phase carves its own Deadline (MVD mining never eats into the
   // schema budget), so this only fires for near-zero budgets — but then it
   // skips the quadratic graph build entirely.
   if (deadline.Expired()) {
     result.status = Status::DeadlineExceeded("schema enumeration budget");
+    fold_assembly(result);
     return result;
   }
 
@@ -156,12 +210,21 @@ AsMinerResult Maimon::MineSchemas() {
     vertices = &admitted;
     result.mvds_dropped = mined.mvds.size() - cap;
   }
-  const Graph graph = BuildConflictGraph(*vertices, &result.conflict_edges);
+  const Graph graph = [&] {
+    obs::Span span(config_.sink, "assemble.conflict_graph");
+    Graph built = BuildConflictGraph(*vertices, &result.conflict_edges);
+    span.Arg("vertices", vertices->size());
+    span.Arg("edges", result.conflict_edges);
+    return built;
+  }();
   result.conflict_vertices = vertices->size();
 
   // No MVDs, no schemes: skip enumeration outright (the 0-vertex graph
   // would still emit one empty MIS and report a contradictory #MIS = 1).
-  if (vertices->empty()) return result;
+  if (vertices->empty()) {
+    fold_assembly(result);
+    return result;
+  }
 
   // The Bron–Kerbosch root branches are the parallel grain: branch b holds
   // exactly the maximal independent sets containing root candidate v_b and
@@ -176,6 +239,7 @@ AsMinerResult Maimon::MineSchemas() {
     // Sequential path: stream MISes through one assembler on the facade's
     // own oracle, deduping and capping inline — byte-for-byte the behavior
     // the parallel merge below reconstructs.
+    obs::Span stream_span(config_.sink, "assemble.stream");
     SchemeAssembler assembler(calc_.get(), universe);
     std::unordered_set<std::string> seen;
     std::vector<const Mvd*> members;
@@ -230,6 +294,7 @@ AsMinerResult Maimon::MineSchemas() {
     if (deadline_hit) {
       result.status = Status::DeadlineExceeded("schema enumeration budget");
     }
+    fold_assembly(result);
     return result;
   }
 
@@ -256,9 +321,11 @@ AsMinerResult Maimon::MineSchemas() {
   const size_t num_branches = decomp.NumBranches();
   std::vector<BranchOutput> branches(num_branches);
   std::vector<EngineShard> shards = MakeEngineShards(*engine_, threads);
-  ThreadPool pool(threads);
+  ThreadPool pool(threads, config_.sink);
   const ParallelForResult run = ParallelFor(
       &pool, threads, num_branches, &deadline, [&](int shard_idx, size_t b) {
+        obs::Span branch_span(config_.sink, "assemble.branch");
+        branch_span.Arg("branch", b);
         EngineShard& shard = shards[static_cast<size_t>(shard_idx)];
         BranchOutput& out = branches[b];
         SchemeAssembler assembler(shard.calc.get(), universe);
@@ -335,6 +402,7 @@ AsMinerResult Maimon::MineSchemas() {
       result.status = Status::DeadlineExceeded("schema enumeration budget");
     }
   }
+  fold_assembly(result);
   return result;
 }
 

@@ -39,6 +39,7 @@
 #include "decomp/audit.h"
 #include "entropy/info_calc.h"
 #include "entropy/pli_engine.h"
+#include "obs/trace.h"
 #include "util/status.h"
 
 namespace maimon {
@@ -82,6 +83,12 @@ struct MaimonConfig {
   /// max_schemas truncation the *outputs* still match but engine query
   /// counts may differ — parallel assembly workers overshoot the cap.)
   int num_threads = 1;
+  /// Observability sink for the whole pipeline (nullable; see obs/trace.h).
+  /// When set, every phase emits spans and the facade folds its phase
+  /// counters into the sink as well as its own registry. Downstream knobs
+  /// left at their null default (DecompAuditOptions::sink) inherit it, the
+  /// same way num_threads flows down.
+  obs::Sink* sink = nullptr;
   MvdMinerOptions mvd;
   SchemaMinerOptions schemas;
   PliEngineOptions pli;
@@ -90,9 +97,6 @@ struct MaimonConfig {
 struct MvdMinerResult {
   std::vector<AttrSet> separators;  // distinct minimal separators
   std::vector<Mvd> mvds;            // distinct full MVDs
-  /// Separator-walk accounting summed over every (a, b) pair: seeds,
-  /// expansion nodes, and oracle verification calls (MinSepsStats).
-  MinSepsStats min_sep_stats;
   Status status;
 
   size_t NumSeparators() const { return separators.size(); }
@@ -142,6 +146,16 @@ class Maimon {
   PliEntropyEngine& engine() { return *engine_; }
   const MaimonConfig& config() const { return config_; }
 
+  /// The facade's own metrics registry: every phase folds its counters
+  /// here (mining under `minsep.*` / `mine.*`, assembly under
+  /// `assemble.*`) whether or not a sink is configured. Deterministic —
+  /// totals are identical at any thread count.
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+  /// Thin view over the registry: the separator-walk totals that used to
+  /// live on MvdMinerResult (seeds, expansions, oracle calls), summed over
+  /// every (a, b) pair. Valid after MineMvds().
+  MinSepsStats min_sep_stats() const;
+
  private:
   const Relation* relation_;
   MaimonConfig config_;
@@ -149,6 +163,7 @@ class Maimon {
   std::unique_ptr<InfoCalc> calc_;
   bool mvds_mined_ = false;
   MvdMinerResult mvd_result_;
+  obs::MetricsRegistry metrics_;
 };
 
 }  // namespace maimon

@@ -18,7 +18,8 @@ int PairGridThreads(int num_cols, int num_threads) {
 PairGridRun ForEachPairSharded(
     PliEntropyEngine* engine, int num_cols, int num_threads,
     const Deadline* deadline,
-    const std::function<void(const InfoCalc&, size_t, int, int)>& fn) {
+    const std::function<void(const InfoCalc&, size_t, int, int)>& fn,
+    obs::Sink* sink) {
   std::vector<std::pair<int, int>> pairs;
   pairs.reserve(static_cast<size_t>(num_cols) * static_cast<size_t>(num_cols) /
                 2);
@@ -30,6 +31,14 @@ PairGridRun ForEachPairSharded(
   run.num_pairs = static_cast<int>(pairs.size());
   run.threads_used = PairGridThreads(num_cols, num_threads);
 
+  const auto traced_fn = [&fn, sink](const InfoCalc& calc, size_t i, int a,
+                                     int b) {
+    obs::Span span(sink, "mine.pair");
+    span.Arg("a", a);
+    span.Arg("b", b);
+    fn(calc, i, a, b);
+  };
+
   if (run.threads_used <= 1) {
     // Inline on the caller's engine: its cache stays warm for whatever
     // single-threaded phase follows — exactly the pre-pool behavior.
@@ -37,7 +46,7 @@ PairGridRun ForEachPairSharded(
     run.completed =
         ParallelFor(nullptr, 1, pairs.size(), deadline,
                     [&](int, size_t i) {
-                      fn(calc, i, pairs[i].first, pairs[i].second);
+                      traced_fn(calc, i, pairs[i].first, pairs[i].second);
                     })
             .completed;
     return run;
@@ -47,12 +56,12 @@ PairGridRun ForEachPairSharded(
   // concurrent cache, private scratch + counters); ParallelFor guarantees
   // one thread per shard at a time, so the handle state needs no locks.
   std::vector<EngineShard> shards = MakeEngineShards(*engine, run.threads_used);
-  ThreadPool pool(run.threads_used);
+  ThreadPool pool(run.threads_used, sink);
   run.completed =
       ParallelFor(&pool, run.threads_used, pairs.size(), deadline,
                   [&](int shard, size_t i) {
-                    fn(*shards[static_cast<size_t>(shard)].calc, i,
-                       pairs[i].first, pairs[i].second);
+                    traced_fn(*shards[static_cast<size_t>(shard)].calc, i,
+                              pairs[i].first, pairs[i].second);
                   })
           .completed;
   // Fold worker counters back so aggregate ablation stats add up exactly.

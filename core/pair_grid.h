@@ -19,6 +19,7 @@
 
 #include "entropy/info_calc.h"
 #include "entropy/pli_engine.h"
+#include "obs/trace.h"
 #include "util/stopwatch.h"
 
 namespace maimon {
@@ -43,11 +44,15 @@ int PairGridThreads(int num_cols, int num_threads);
 /// sharded across forked engine workers otherwise. `fn` must write its
 /// output keyed by `index` (never by shard) so results merge
 /// deterministically for any thread count. `deadline` (nullable) stops
-/// further claims on expiry.
+/// further claims on expiry. `sink` (nullable) wraps every pair in a
+/// `mine.pair` span on its worker's track and instruments the pool;
+/// semantic counters are NOT emitted here — callers fold them from their
+/// deterministic merge loop (see obs/trace.h's fold discipline).
 PairGridRun ForEachPairSharded(
     PliEntropyEngine* engine, int num_cols, int num_threads,
     const Deadline* deadline,
-    const std::function<void(const InfoCalc&, size_t, int, int)>& fn);
+    const std::function<void(const InfoCalc&, size_t, int, int)>& fn,
+    obs::Sink* sink = nullptr);
 
 }  // namespace maimon
 

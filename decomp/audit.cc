@@ -2,6 +2,7 @@
 
 #include "decomp/audit.h"
 
+#include <memory>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -27,10 +28,19 @@ DecompositionAudit DecomposeAndAudit(const Relation& relation,
   }
 
   // The analytic side: S/E/J plus the counting-DP join_rows.
-  audit.analytic = EvaluateSchema(relation, schema, oracle);
+  {
+    obs::Span span(options.sink, "audit.analytic");
+    audit.analytic = EvaluateSchema(relation, schema, oracle);
+  }
 
   // The materialized side: deduplicated projections + accounting.
-  const ProjectionStore store(relation, schema);
+  std::unique_ptr<const ProjectionStore> store_holder;
+  {
+    obs::Span span(options.sink, "audit.store");
+    store_holder = std::make_unique<const ProjectionStore>(relation, schema);
+    span.Arg("projections", store_holder->NumProjections());
+  }
+  const ProjectionStore& store = *store_holder;
   audit.projections.reserve(store.NumProjections());
   for (const StoredProjection& p : store.projections()) {
     audit.projections.push_back({p.attrs, p.NumRows(), p.Cells(), p.Bytes()});
@@ -45,6 +55,7 @@ DecompositionAudit DecomposeAndAudit(const Relation& relation,
   exec_options.materialize = options.materialize;
   exec_options.deadline = &deadline;
   exec_options.num_threads = options.num_threads;
+  exec_options.sink = options.sink;
   audit.join = executor.Execute(exec_options);
   audit.join_rows = audit.join.rows;
   audit.semijoin_dropped = executor.semijoin_dropped();
@@ -64,6 +75,7 @@ DecompositionAudit DecomposeAndAudit(const Relation& relation,
   // probe: each distinct row is checked against the reduced store — the
   // definitional natural join test, independent of the enumeration. The
   // sweep polls the same deadline as the join phases (every 1024 rows).
+  obs::Span probe_span(options.sink, "audit.probe");
   const AttrSet universe = schema.UniverseAttrs();
   const std::vector<int> universe_cols = universe.ToVector();
   std::unordered_set<std::string> distinct;

@@ -42,6 +42,11 @@ struct DecompAuditOptions {
   /// join are byte-identical at any value. Maimon::DecomposeAndAudit
   /// passes its MaimonConfig::num_threads here.
   int num_threads = 1;
+  /// Observability sink (nullable): `audit.*` spans around the analytic /
+  /// store / probe phases, plus the executor's `yk.*` instrumentation.
+  /// Maimon::DecomposeAndAudit fills this from MaimonConfig::sink when
+  /// left null (the same inheritance as num_threads).
+  obs::Sink* sink = nullptr;
 };
 
 /// Per-projection accounting (feeds the storage-savings S numerator).

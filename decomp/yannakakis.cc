@@ -68,9 +68,20 @@ void YannakakisExecutor::RebuildKeys(Node* node) const {
   }
 }
 
-Status YannakakisExecutor::Reduce(const Deadline* deadline, int num_threads) {
+Status YannakakisExecutor::Reduce(const Deadline* deadline, int num_threads,
+                                  obs::Sink* sink) {
   if (reduced_) return Status::Ok();
+  obs::Span span(sink, "yk.reduce");
+  const uint64_t dropped_before = semijoin_dropped_;
+  const Status status = ReduceImpl(deadline, num_threads, sink);
+  const uint64_t dropped = semijoin_dropped_ - dropped_before;
+  span.Arg("dropped", dropped);
+  obs::Count(sink, "yk.semijoin_dropped", dropped);
+  return status;
+}
 
+Status YannakakisExecutor::ReduceImpl(const Deadline* deadline,
+                                      int num_threads, obs::Sink* sink) {
   // Semijoin node `v` with the separator keys of `other` (already packed):
   // keep only tuples whose separator projection appears in `other`. Order-
   // preserving, so the reduced tuple lists are scheduling-independent.
@@ -128,7 +139,7 @@ Status YannakakisExecutor::Reduce(const Deadline* deadline, int num_threads) {
       const size_t v = static_cast<size_t>(pv);
       levels[static_cast<size_t>(depth[v])].push_back(v);
     }
-    ThreadPool pool(threads);
+    ThreadPool pool(threads, sink);
     std::vector<uint64_t> dropped(nodes_.size(), 0);
     std::atomic<bool> expired{false};
 
@@ -233,8 +244,10 @@ Status YannakakisExecutor::Reduce(const Deadline* deadline, int num_threads) {
 JoinResult YannakakisExecutor::Execute(const YannakakisOptions& options) {
   JoinResult result;
   result.columns = out_columns_;
-  result.status = Reduce(options.deadline, options.num_threads);
+  result.status = Reduce(options.deadline, options.num_threads, options.sink);
   if (!result.status.ok()) return result;
+
+  obs::Span span(options.sink, "yk.join");
 
   // Per-node hash index on the parent separator.
   for (size_t v = 0; v < nodes_.size(); ++v) {
@@ -253,6 +266,8 @@ JoinResult YannakakisExecutor::Execute(const YannakakisOptions& options) {
   if (!Extend(0, &out, &result, options, &poll_counter)) {
     result.status = Status::DeadlineExceeded("join enumeration");
   }
+  span.Arg("rows", result.rows);
+  obs::Count(options.sink, "yk.join_rows", result.rows);
   return result;
 }
 

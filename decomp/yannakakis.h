@@ -30,6 +30,7 @@
 
 #include "decomp/projection_store.h"
 #include "join/join_tree.h"
+#include "obs/trace.h"
 #include "util/status.h"
 #include "util/stopwatch.h"
 
@@ -48,6 +49,9 @@ struct YannakakisOptions {
   /// for every value (see Reduce). The join enumeration itself stays
   /// single-threaded — it streams one row at a time by design.
   int num_threads = 1;
+  /// Observability sink (nullable): `yk.reduce` / `yk.join` spans plus the
+  /// `yk.semijoin_dropped` and `yk.join_rows` counters.
+  obs::Sink* sink = nullptr;
 };
 
 struct JoinResult {
@@ -79,7 +83,8 @@ class YannakakisExecutor {
   /// mutates itself (leaf-to-root) or its own children (root-to-leaf), and
   /// semijoin filtering preserves tuple order, so the reduced store — and
   /// therefore the join — is byte-identical at any thread count.
-  Status Reduce(const Deadline* deadline, int num_threads = 1);
+  Status Reduce(const Deadline* deadline, int num_threads = 1,
+                obs::Sink* sink = nullptr);
 
   /// Streams the join; see YannakakisOptions.
   JoinResult Execute(const YannakakisOptions& options);
@@ -110,6 +115,8 @@ class YannakakisExecutor {
   };
 
   void RebuildKeys(Node* node) const;
+  Status ReduceImpl(const Deadline* deadline, int num_threads,
+                    obs::Sink* sink);
   // Depth-first extension over preorder position `depth`; returns false on
   // deadline expiry.
   bool Extend(size_t depth, std::vector<uint32_t>* out, JoinResult* result,

@@ -6,6 +6,8 @@
 #include <cassert>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace maimon {
 
 PliSharedCore::PliSharedCore(const Relation& relation,
@@ -96,6 +98,7 @@ double PliEntropyEngine::Entropy(AttrSet attrs) {
   // partition cache served this attribute set outright, a miss means
   // intersection work follows.
   if (PliCache::PartitionRef exact = cache_->Get(attrs, &cache_stats_)) {
+    ++depth_hist_[0];
     const double h = exact->Entropy();
     if (options.cache_entropy_values) cache_->PutEntropy(attrs, h, &cache_stats_);
     return h;
@@ -117,6 +120,12 @@ double PliEntropyEngine::Entropy(AttrSet attrs) {
     const int first = attrs.First();
     have = AttrSet::Single(first);
     cur = &core_->Single(first);
+  }
+
+  {
+    int depth = attrs.Minus(have).Count();
+    if (depth >= Stats::kDepthBuckets) depth = Stats::kDepthBuckets - 1;
+    ++depth_hist_[depth];
   }
 
   // Stage 2: fold in the missing attributes one base PLI at a time, staging
@@ -180,9 +189,33 @@ PliEntropyEngine::Stats PliEntropyEngine::stats() const {
   s.queries += num_queries_;
   s.value_hits += value_hits_;
   s.intersections += intersections_;
+  for (int i = 0; i < Stats::kDepthBuckets; ++i) {
+    s.depth_hist[i] += depth_hist_[i];
+  }
   s.cache.AccumulateCounters(cache_stats_);
   s.cache.bytes = cache_->bytes();  // resident gauge of the shared cache
   return s;
+}
+
+void AppendEngineMetrics(const PliEntropyEngine::Stats& stats,
+                         obs::MetricsRegistry* registry) {
+  registry->Count("pli.queries", stats.queries);
+  registry->Count("pli.value_hits", stats.value_hits);
+  registry->Count("pli.intersections", stats.intersections);
+  registry->Count("pli.cache.hits", stats.cache.hits);
+  registry->Count("pli.cache.misses", stats.cache.misses);
+  registry->Count("pli.cache.insertions", stats.cache.insertions);
+  registry->Count("pli.cache.value_insertions", stats.cache.value_insertions);
+  registry->Count("pli.cache.evictions", stats.cache.evictions);
+  registry->GaugeMax("pli.cache.resident_bytes",
+                     static_cast<int64_t>(stats.cache.bytes));
+  for (int depth = 0; depth < PliEntropyEngine::Stats::kDepthBuckets;
+       ++depth) {
+    if (stats.depth_hist[depth] != 0) {
+      registry->Observe("pli.intersect_depth", static_cast<uint64_t>(depth),
+                        stats.depth_hist[depth]);
+    }
+  }
 }
 
 std::vector<EngineShard> MakeEngineShards(const PliEntropyEngine& parent,

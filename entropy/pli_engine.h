@@ -124,10 +124,22 @@ class PliEntropyEngine : public EntropyEngine {
   void MergeStats(const PliEntropyEngine& worker);
 
   struct Stats {
+    /// Intersection-depth histogram: bucket d counts the partition-path
+    /// queries that needed d single-column folds (0 = served outright by an
+    /// exact cached partition). The last bucket absorbs deeper queries.
+    static constexpr int kDepthBuckets = 17;
+
     uint64_t queries = 0;
     uint64_t value_hits = 0;     // answered from the H(X) memo
     uint64_t intersections = 0;  // partition products performed
+    uint64_t depth_hist[kDepthBuckets] = {};
     PliCache::Stats cache;       // partition LRU counters
+
+    void ObserveDepth(int depth) {
+      if (depth < 0) depth = 0;
+      if (depth >= kDepthBuckets) depth = kDepthBuckets - 1;
+      ++depth_hist[depth];
+    }
 
     /// Adds `other`'s counters into this one (cache.bytes, a resident
     /// gauge, stays untouched).
@@ -135,6 +147,9 @@ class PliEntropyEngine : public EntropyEngine {
       queries += other.queries;
       value_hits += other.value_hits;
       intersections += other.intersections;
+      for (int i = 0; i < kDepthBuckets; ++i) {
+        depth_hist[i] += other.depth_hist[i];
+      }
       cache.AccumulateCounters(other.cache);
     }
   };
@@ -163,6 +178,7 @@ class PliEntropyEngine : public EntropyEngine {
   uint64_t num_queries_ = 0;
   uint64_t value_hits_ = 0;
   uint64_t intersections_ = 0;
+  uint64_t depth_hist_[Stats::kDepthBuckets] = {};
   Stats merged_;  // counters folded in from forked workers
 };
 
@@ -176,6 +192,19 @@ struct EngineShard {
 /// Forks `num_shards` engines off `parent` and wraps each in an InfoCalc.
 std::vector<EngineShard> MakeEngineShards(const PliEntropyEngine& parent,
                                           int num_shards);
+
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
+
+/// Exports an engine's counters into an obs registry under the `pli.*`
+/// namespace: queries / value_hits / intersections, the cache counters
+/// (hits, misses, insertions, value_insertions, evictions), the
+/// `pli.cache.resident_bytes` gauge (high-water across folds), and the
+/// `pli.intersect_depth` histogram. Fold ONCE per engine, after its
+/// workers' stats are merged — typically right before a bench reports.
+void AppendEngineMetrics(const PliEntropyEngine::Stats& stats,
+                         obs::MetricsRegistry* registry);
 
 }  // namespace maimon
 

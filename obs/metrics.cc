@@ -1,0 +1,84 @@
+// Copyright (c) Maimon-cpp authors. Licensed under the MIT license.
+
+#include "obs/metrics.h"
+
+namespace maimon {
+namespace obs {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+void MetricsRegistry::Merge(const MetricsRegistry& other) {
+  for (const auto& [name, value] : other.counters_) counters_[name] += value;
+  for (const auto& [name, value] : other.gauges_) GaugeMax(name, value);
+  for (const auto& [name, hist] : other.histograms_) {
+    histograms_[name].Merge(hist);
+  }
+}
+
+uint64_t MetricsRegistry::counter(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+int64_t MetricsRegistry::gauge(const std::string& name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0 : it->second;
+}
+
+const Histogram* MetricsRegistry::histogram(const std::string& name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+void MetricsRegistry::WriteJsonl(std::FILE* out) const {
+  for (const auto& [name, value] : counters_) {
+    std::fprintf(out, "{\"metric\":\"%s\",\"type\":\"counter\",\"value\":%llu}\n",
+                 JsonEscape(name).c_str(),
+                 static_cast<unsigned long long>(value));
+  }
+  for (const auto& [name, value] : gauges_) {
+    std::fprintf(out, "{\"metric\":\"%s\",\"type\":\"gauge\",\"value\":%lld}\n",
+                 JsonEscape(name).c_str(), static_cast<long long>(value));
+  }
+  for (const auto& [name, hist] : histograms_) {
+    std::fprintf(out,
+                 "{\"metric\":\"%s\",\"type\":\"histogram\",\"count\":%llu,"
+                 "\"sum\":%llu,\"buckets\":{",
+                 JsonEscape(name).c_str(),
+                 static_cast<unsigned long long>(hist.count),
+                 static_cast<unsigned long long>(hist.sum));
+    bool first = true;
+    for (int b = 0; b < Histogram::kNumBuckets; ++b) {
+      if (hist.buckets[b] == 0) continue;
+      std::fprintf(out, "%s\"%llu\":%llu", first ? "" : ",",
+                   static_cast<unsigned long long>(Histogram::BucketFloor(b)),
+                   static_cast<unsigned long long>(hist.buckets[b]));
+      first = false;
+    }
+    std::fprintf(out, "}}\n");
+  }
+}
+
+}  // namespace obs
+}  // namespace maimon

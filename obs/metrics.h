@@ -1,0 +1,120 @@
+// Copyright (c) Maimon-cpp authors. Licensed under the MIT license.
+//
+// MetricsRegistry: the observability layer's metric store — counters,
+// gauges, and fixed-bucket (power-of-two) histograms, keyed by name.
+//
+// The concurrency discipline is the same fork/merge model the entropy
+// engine uses for its Stats (DESIGN.md "Concurrency model"): a registry is
+// a plain single-writer value, workers accumulate into thread-confined
+// shards, and Merge folds shards together exactly —
+//
+//   * counters and histogram buckets are summed (uint64 addition is
+//     associative and commutative, so the fold total is byte-identical for
+//     any thread count and any fold order);
+//   * gauges fold by max (high-water semantics — the only merge of a
+//     sampled value that is order-independent).
+//
+// There are no atomics and no locks here; obs/trace.h's Sink owns the
+// cross-thread choreography (per-thread lanes, fold-under-mutex).
+
+#ifndef MAIMON_OBS_METRICS_H_
+#define MAIMON_OBS_METRICS_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+
+namespace maimon {
+namespace obs {
+
+/// Escapes a string for embedding inside a JSON string literal (quotes,
+/// backslashes, control characters). Shared by the metrics JSONL writer and
+/// the Chrome-trace serializer.
+std::string JsonEscape(const std::string& s);
+
+/// Fixed power-of-two bucket histogram of non-negative samples. Bucket i
+/// holds the values whose bit width is i: bucket 0 is exactly {0}, bucket 1
+/// is {1}, bucket 2 is {2, 3}, bucket 3 is {4..7}, ... so boundaries are
+/// fixed at compile time and two shards' buckets always line up — merging
+/// is exact per-bucket addition, never re-bucketing.
+struct Histogram {
+  static constexpr int kNumBuckets = 65;  // bit widths 0..64
+
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t buckets[kNumBuckets] = {};
+
+  /// Bucket index of `value`: 0 for 0, otherwise its bit width.
+  static int BucketOf(uint64_t value) {
+    return value == 0 ? 0 : 64 - __builtin_clzll(value);
+  }
+  /// Smallest value that lands in bucket `b` (0, 1, 2, 4, 8, ...).
+  static uint64_t BucketFloor(int b) {
+    return b == 0 ? 0 : uint64_t{1} << (b - 1);
+  }
+
+  void Observe(uint64_t value, uint64_t n = 1) {
+    count += n;
+    sum += value * n;
+    buckets[BucketOf(value)] += n;
+  }
+
+  void Merge(const Histogram& other) {
+    count += other.count;
+    sum += other.sum;
+    for (int i = 0; i < kNumBuckets; ++i) buckets[i] += other.buckets[i];
+  }
+};
+
+class MetricsRegistry {
+ public:
+  void Count(const std::string& name, uint64_t delta) {
+    counters_[name] += delta;
+  }
+  /// Last-write gauge; across shards GaugeMax is the mergeable flavor.
+  void GaugeSet(const std::string& name, int64_t value) {
+    gauges_[name] = value;
+  }
+  /// High-water gauge: keeps the maximum ever set.
+  void GaugeMax(const std::string& name, int64_t value) {
+    auto [it, inserted] = gauges_.emplace(name, value);
+    if (!inserted && value > it->second) it->second = value;
+  }
+  void Observe(const std::string& name, uint64_t value, uint64_t n = 1) {
+    histograms_[name].Observe(value, n);
+  }
+
+  /// Exact fold: counters and histograms sum, gauges take the max.
+  void Merge(const MetricsRegistry& other);
+
+  /// Reads (0 / null when the metric was never touched).
+  uint64_t counter(const std::string& name) const;
+  int64_t gauge(const std::string& name) const;
+  const Histogram* histogram(const std::string& name) const;
+
+  bool empty() const {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+
+  const std::map<std::string, uint64_t>& counters() const { return counters_; }
+  const std::map<std::string, int64_t>& gauges() const { return gauges_; }
+  const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
+
+  /// One JSON object per metric, name-ordered (std::map), so two snapshots
+  /// of the same run diff line-by-line. Histogram lines carry only the
+  /// non-empty buckets, keyed by their floor value.
+  void WriteJsonl(std::FILE* out) const;
+
+ private:
+  std::map<std::string, uint64_t> counters_;
+  std::map<std::string, int64_t> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace obs
+}  // namespace maimon
+
+#endif  // MAIMON_OBS_METRICS_H_

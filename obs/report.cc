@@ -1,0 +1,58 @@
+// Copyright (c) Maimon-cpp authors. Licensed under the MIT license.
+
+#include "obs/report.h"
+
+#include <algorithm>
+#include <map>
+
+namespace maimon {
+namespace obs {
+
+std::vector<PhaseRow> PhaseProfile(const Sink& sink) {
+  std::map<std::string, PhaseRow> by_name;
+  sink.ForEachEvent([&by_name](int /*track*/, const std::string& /*label*/,
+                               const TraceEvent& event) {
+    PhaseRow& row = by_name[event.name];
+    row.name = event.name;
+    row.count += 1;
+    row.wall_ms += static_cast<double>(event.dur_ns) / 1e6;
+    row.cpu_ms += static_cast<double>(event.cpu_ns) / 1e6;
+  });
+  std::vector<PhaseRow> rows;
+  rows.reserve(by_name.size());
+  for (auto& [name, row] : by_name) rows.push_back(std::move(row));
+  return rows;
+}
+
+void WritePhaseTable(const Sink& sink, std::FILE* out) {
+  const std::vector<PhaseRow> rows = PhaseProfile(sink);
+  if (rows.empty()) return;
+  size_t width = 5;  // "phase"
+  for (const PhaseRow& row : rows) width = std::max(width, row.name.size());
+  std::fprintf(out, "%-*s %10s %12s %12s\n", static_cast<int>(width), "phase",
+               "count", "wall_ms", "cpu_ms");
+  for (const PhaseRow& row : rows) {
+    std::fprintf(out, "%-*s %10llu %12.3f %12.3f\n", static_cast<int>(width),
+                 row.name.c_str(), static_cast<unsigned long long>(row.count),
+                 row.wall_ms, row.cpu_ms);
+  }
+}
+
+bool WriteMetricsFile(const Sink& sink, const std::string& path) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) return false;
+  sink.SnapshotMetrics().WriteJsonl(out);
+  const bool ok = std::fclose(out) == 0;
+  return ok;
+}
+
+bool WriteTraceFile(const Sink& sink, const std::string& path) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) return false;
+  sink.WriteChromeTrace(out);
+  const bool ok = std::fclose(out) == 0;
+  return ok;
+}
+
+}  // namespace obs
+}  // namespace maimon

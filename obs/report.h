@@ -1,0 +1,48 @@
+// Copyright (c) Maimon-cpp authors. Licensed under the MIT license.
+//
+// Pipeline report: turns a Sink's span buffers and metric shards into the
+// two artifacts a bench run leaves behind —
+//
+//   * a per-phase table (span name → count, total wall ms, total CPU ms)
+//     printed to stderr for humans, and
+//   * file writers for the Chrome trace (--trace=FILE, load in Perfetto)
+//     and the metrics JSONL snapshot (--metrics=FILE).
+//
+// Call only after worker threads are joined (see obs/trace.h).
+
+#ifndef MAIMON_OBS_REPORT_H_
+#define MAIMON_OBS_REPORT_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace maimon {
+namespace obs {
+
+/// Aggregate of every span sharing one name.
+struct PhaseRow {
+  std::string name;
+  uint64_t count = 0;
+  double wall_ms = 0.0;
+  double cpu_ms = 0.0;
+};
+
+/// Spans aggregated by name, name-ordered.
+std::vector<PhaseRow> PhaseProfile(const Sink& sink);
+
+/// Renders the phase table (aligned columns, one row per span name).
+void WritePhaseTable(const Sink& sink, std::FILE* out);
+
+/// Writes the folded metrics snapshot as JSONL. Returns false on I/O error.
+bool WriteMetricsFile(const Sink& sink, const std::string& path);
+
+/// Writes the Chrome trace-event JSON. Returns false on I/O error.
+bool WriteTraceFile(const Sink& sink, const std::string& path);
+
+}  // namespace obs
+}  // namespace maimon
+
+#endif  // MAIMON_OBS_REPORT_H_

@@ -1,0 +1,137 @@
+// Copyright (c) Maimon-cpp authors. Licensed under the MIT license.
+
+#include "obs/trace.h"
+
+#include <cinttypes>
+
+namespace maimon {
+namespace obs {
+
+Sink::Sink() : epoch_ns_(Stopwatch::NowNs()) {
+  std::lock_guard<std::mutex> lock(mu_);
+  lanes_.emplace_back(new Lane(0, "main"));
+  by_thread_[std::this_thread::get_id()] = lanes_.back().get();
+}
+
+Lane* Sink::lane() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = by_thread_.find(std::this_thread::get_id());
+  if (it != by_thread_.end()) return it->second;
+  return RegisterThread();
+}
+
+Lane* Sink::RegisterThread() {
+  // mu_ held by caller.
+  Lane* lane;
+  if (!free_tracks_.empty()) {
+    lane = lanes_[free_tracks_.back()].get();
+    free_tracks_.pop_back();
+  } else {
+    const int track = static_cast<int>(lanes_.size());
+    lanes_.emplace_back(new Lane(track, "worker-" + std::to_string(track)));
+    lane = lanes_.back().get();
+  }
+  by_thread_[std::this_thread::get_id()] = lane;
+  return lane;
+}
+
+void Sink::ReleaseLane() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = by_thread_.find(std::this_thread::get_id());
+  if (it == by_thread_.end()) return;
+  free_tracks_.push_back(it->second->track());
+  by_thread_.erase(it);
+}
+
+void Sink::Fold(const MetricsRegistry& shard) {
+  std::lock_guard<std::mutex> lock(mu_);
+  base_.Merge(shard);
+}
+
+MetricsRegistry Sink::SnapshotMetrics() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsRegistry out = base_;
+  for (const auto& lane : lanes_) out.Merge(lane->metrics_);
+  return out;
+}
+
+void Sink::ForEachEvent(
+    const std::function<void(int track, const std::string& label,
+                             const TraceEvent&)>& fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& lane : lanes_) {
+    for (const TraceEvent& event : lane->events_) {
+      fn(lane->track_, lane->label_, event);
+    }
+  }
+}
+
+size_t Sink::num_lanes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lanes_.size();
+}
+
+void Sink::WriteChromeTrace(std::FILE* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fputs("{\"traceEvents\":[", out);
+  bool first = true;
+  for (const auto& lane : lanes_) {
+    std::fprintf(out,
+                 "%s{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                 "\"tid\":%d,\"args\":{\"name\":\"%s\"}}",
+                 first ? "" : ",", lane->track_,
+                 JsonEscape(lane->label_).c_str());
+    first = false;
+  }
+  for (const auto& lane : lanes_) {
+    for (const TraceEvent& event : lane->events_) {
+      // Chrome trace timestamps are microsecond doubles; keep nanosecond
+      // precision via three decimals.
+      std::fprintf(out,
+                   ",{\"name\":\"%s\",\"ph\":\"X\",\"pid\":1,\"tid\":%d,"
+                   "\"ts\":%" PRIu64 ".%03u,\"dur\":%" PRIu64 ".%03u,"
+                   "\"args\":{\"cpu_us\":%" PRIu64 "%s%s}}",
+                   JsonEscape(event.name).c_str(), lane->track_,
+                   event.start_ns / 1000,
+                   static_cast<unsigned>(event.start_ns % 1000),
+                   event.dur_ns / 1000,
+                   static_cast<unsigned>(event.dur_ns % 1000),
+                   event.cpu_ns / 1000, event.args_json.empty() ? "" : ",",
+                   event.args_json.c_str());
+    }
+  }
+  std::fputs("]}\n", out);
+}
+
+void Span::AppendRaw(const char* key, const std::string& rendered) {
+  if (!args_.empty()) args_ += ',';
+  args_ += '"';
+  args_ += JsonEscape(key);
+  args_ += "\":";
+  args_ += rendered;
+}
+
+void Span::Arg(const char* key, uint64_t value) {
+  if (lane_ == nullptr) return;
+  AppendRaw(key, std::to_string(value));
+}
+
+void Span::Arg(const char* key, int64_t value) {
+  if (lane_ == nullptr) return;
+  AppendRaw(key, std::to_string(value));
+}
+
+void Span::Arg(const char* key, double value) {
+  if (lane_ == nullptr) return;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  AppendRaw(key, buf);
+}
+
+void Span::Arg(const char* key, const std::string& value) {
+  if (lane_ == nullptr) return;
+  AppendRaw(key, "\"" + JsonEscape(value) + "\"");
+}
+
+}  // namespace obs
+}  // namespace maimon

@@ -70,6 +70,8 @@ RankResult RankSchemes(const Relation& relation,
                        const std::vector<MinedSchema>& schemes,
                        const InfoCalc& oracle, const RankerOptions& options) {
   RankResult result;
+  obs::Span rank_span(options.sink, "rank.schemes");
+  rank_span.Arg("schemes", schemes.size());
   const Deadline deadline = options.budget_seconds > 0
                                 ? Deadline::After(options.budget_seconds)
                                 : Deadline::Infinite();
@@ -92,9 +94,11 @@ RankResult RankSchemes(const Relation& relation,
     // shared cache) — entropies are exact regardless of cache state, so the
     // per-scheme reports are identical to the inline path's.
     std::vector<EngineShard> shards = MakeEngineShards(*pli, threads);
-    ThreadPool pool(threads);
+    ThreadPool pool(threads, options.sink);
     completed = ParallelFor(&pool, threads, schemes.size(), &deadline,
                             [&](int shard, size_t i) {
+                              obs::Span span(options.sink, "rank.score");
+                              span.Arg("scheme", i);
                               scored_by_index[i] = ScoreOne(
                                   relation, schemes[i],
                                   *shards[static_cast<size_t>(shard)].calc);
@@ -105,6 +109,8 @@ RankResult RankSchemes(const Relation& relation,
   } else {
     completed = ParallelFor(nullptr, 1, schemes.size(), &deadline,
                             [&](int, size_t i) {
+                              obs::Span span(options.sink, "rank.score");
+                              span.Arg("scheme", i);
                               scored_by_index[i] =
                                   ScoreOne(relation, schemes[i], oracle);
                               done[i] = 1;
@@ -121,6 +127,9 @@ RankResult RankSchemes(const Relation& relation,
     if (done[i]) scored.push_back(std::move(scored_by_index[i]));
   }
   result.evaluated = scored.size();
+  // Counted once from the deterministic collection loop, not per worker.
+  obs::Count(options.sink, "rank.scored", result.evaluated);
+  rank_span.Arg("evaluated", result.evaluated);
 
   const RankKey primary = options.primary;
   std::sort(scored.begin(), scored.end(),

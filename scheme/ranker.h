@@ -39,6 +39,9 @@ struct RankerOptions {
   /// byte-identical at any thread count. Falls back to inline when the
   /// oracle's engine is not a PliEntropyEngine (nothing to fork).
   int num_threads = 1;
+  /// Observability sink (nullable): a `rank.schemes` span over the sweep,
+  /// one `rank.score` span per scheme, and a `rank.scored` counter.
+  obs::Sink* sink = nullptr;
 };
 
 struct RankedScheme {

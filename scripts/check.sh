@@ -11,8 +11,9 @@
 #   --tsan   additionally build <repo>/build-tsan with ThreadSanitizer and
 #            run the concurrency suites (parallel_test: pool, forked
 #            engines, full parallel pipeline; pli_cache_test: the shared
-#            concurrent cache's mixed-traffic stress) under it. The
-#            default lane is unchanged.
+#            concurrent cache's mixed-traffic stress; obs_test: concurrent
+#            span/metric emission into one sink) under it. The default
+#            lane is unchanged.
 #   --asan   additionally build <repo>/build-asan with AddressSanitizer +
 #            UBSan and run the full unit suite under it (same -LE slow
 #            selection as the default lane).
@@ -56,9 +57,9 @@ if [[ "${tsan}" -eq 1 ]]; then
   cmake -B "${tsan_dir}" -S "${repo_root}" -DMAIMON_TSAN=ON \
         -DMAIMON_WITH_GBENCH=OFF
   cmake --build "${tsan_dir}" -j "${jobs}" --target parallel_test \
-        --target pli_cache_test
+        --target pli_cache_test --target obs_test
   ctest --test-dir "${tsan_dir}" --output-on-failure \
-        -R '^(parallel_test|pli_cache_test)$'
+        -R '^(parallel_test|pli_cache_test|obs_test)$'
 fi
 
 if [[ "${asan}" -eq 1 ]]; then
@@ -78,7 +79,8 @@ fi
 # fails here, not when someone plots them.
 if command -v python3 >/dev/null 2>&1; then
   echo "--- BENCH snapshots parse ---"
-  python3 - "${repo_root}/BENCH_fig13.json" "${repo_root}/BENCH_fig14.json" <<'PY'
+  python3 - "${repo_root}/BENCH_fig13.json" "${repo_root}/BENCH_fig14.json" \
+            "${repo_root}/BENCH_fig15.json" <<'PY'
 import json, sys
 for path in sys.argv[1:]:
     with open(path) as f:

@@ -25,6 +25,7 @@
 
 #include "core/maimon.h"
 #include "data/planted.h"
+#include "obs/trace.h"
 #include "scheme/ranker.h"
 #include "tests/test_util.h"
 #include "util/thread_pool.h"
@@ -317,6 +318,48 @@ TEST_CASE(TruncationIsThreadCountInvariant) {
       CHECK(result.schemas[i].schema == base.schemas[i].schema);
       CHECK_EQ(result.schemas[i].j_measure, base.schemas[i].j_measure);
     }
+  }
+}
+
+TEST_CASE(MetricTotalsAreThreadCountInvariant) {
+  // The observability fold must inherit the pipeline's determinism: every
+  // semantic counter (oracle calls, seeds, expansions, pairs, separators,
+  // MVDs, assembly tallies) is folded once from the canonical merge loop,
+  // so the sink snapshot and Maimon::metrics() agree exactly at any thread
+  // count. Only lane-local operational metrics (pool latencies) and cache
+  // hit/miss splits may move — those are excluded by construction here.
+  const PlantedDataset d = MakePlanted(8, 3, 21, /*noise=*/0.02);
+  const std::vector<std::string> kInvariant = {
+      "minsep.seeds",        "minsep.expansions",
+      "minsep.oracle_calls", "mine.pairs",
+      "mine.separators",     "mine.mvds",
+      "assemble.independent_sets", "assemble.schemes",
+      "assemble.conflict_vertices", "assemble.conflict_edges"};
+
+  auto counters_at = [&](int threads) {
+    obs::Sink sink;
+    MaimonConfig config;
+    config.epsilon = 0.05;
+    config.num_threads = threads;
+    config.schemas.max_schemas = 2048;
+    config.sink = &sink;
+    Maimon maimon(d.relation, config);
+    const AsMinerResult schemas = maimon.MineSchemas();
+    CHECK(schemas.status.ok());
+    const obs::MetricsRegistry snapshot = sink.SnapshotMetrics();
+    std::vector<uint64_t> values;
+    for (const std::string& name : kInvariant) {
+      // Facade registry and sink snapshot are two views of the same fold.
+      CHECK_EQ(maimon.metrics().counter(name), snapshot.counter(name));
+      values.push_back(snapshot.counter(name));
+    }
+    return values;
+  };
+
+  const std::vector<uint64_t> base = counters_at(1);
+  CHECK(base[2] > 0);  // oracle calls: the fixture does real walk work
+  for (int threads : {2, 8}) {
+    CHECK(counters_at(threads) == base);
   }
 }
 

@@ -4,11 +4,18 @@
 // potentially-exponential search in the miner takes a Deadline* and polls it;
 // nullptr means "no budget". Deadlines are value types so a caller can carve
 // per-pair slices out of a global budget.
+//
+// Stopwatch::NowNs is the ONE monotonic clock source of the runtime: trace
+// span timestamps (obs/trace.h) and deadline polling both read
+// steady_clock, so a span's position in a profile and the budget math that
+// cut it short can never disagree about what time it is.
 
 #ifndef MAIMON_UTIL_STOPWATCH_H_
 #define MAIMON_UTIL_STOPWATCH_H_
 
 #include <chrono>
+#include <cstdint>
+#include <ctime>
 
 namespace maimon {
 
@@ -17,6 +24,23 @@ class Stopwatch {
   Stopwatch() : start_(Clock::now()) {}
 
   void Reset() { start_ = Clock::now(); }
+
+  /// Raw monotonic reading in nanoseconds since the steady_clock epoch —
+  /// the shared time source for trace-event timestamps and elapsed math.
+  static uint64_t NowNs() {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            Clock::now().time_since_epoch())
+            .count());
+  }
+
+  /// Elapsed nanoseconds since construction / Reset.
+  uint64_t ElapsedNs() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
+  }
 
   double ElapsedSeconds() const {
     return std::chrono::duration<double>(Clock::now() - start_).count();
@@ -27,6 +51,20 @@ class Stopwatch {
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
 };
+
+/// Calling thread's CPU time in nanoseconds (0 where the platform has no
+/// per-thread CPU clock). Span profiles pair this with NowNs so a phase's
+/// wall/cpu split exposes queue starvation vs genuine compute.
+inline uint64_t ThreadCpuNs() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+    return static_cast<uint64_t>(ts.tv_sec) * 1000000000ull +
+           static_cast<uint64_t>(ts.tv_nsec);
+  }
+#endif
+  return 0;
+}
 
 class Deadline {
  public:

@@ -4,9 +4,11 @@
 
 #include <atomic>
 
+#include "obs/trace.h"
+
 namespace maimon {
 
-ThreadPool::ThreadPool(int num_threads) {
+ThreadPool::ThreadPool(int num_threads, obs::Sink* sink) : sink_(sink) {
   if (num_threads < 1) num_threads = 1;
   workers_.reserve(static_cast<size_t>(num_threads));
   for (int i = 0; i < num_threads; ++i) {
@@ -24,27 +26,45 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  Task entry;
+  entry.fn = std::move(task);
+  if (sink_ != nullptr) entry.enqueue_ns = Stopwatch::NowNs();
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(task));
+    queue_.push_back(std::move(entry));
   }
   cv_.notify_one();
 }
 
 void ThreadPool::WorkerLoop() {
+  obs::Lane* lane = nullptr;
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
       // Drain the queue even while stopping: pending shard runners hold
       // completion latches that waiters depend on.
-      if (queue_.empty()) return;
+      if (queue_.empty()) break;
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    if (sink_ != nullptr) {
+      if (lane == nullptr) lane = sink_->lane();
+      const uint64_t start_ns = Stopwatch::NowNs();
+      lane->Count("pool.tasks", 1);
+      lane->Observe("pool.queue_wait_ns",
+                    start_ns > task.enqueue_ns ? start_ns - task.enqueue_ns
+                                               : 0);
+      task.fn();
+      const uint64_t end_ns = Stopwatch::NowNs();
+      lane->Observe("pool.task_run_ns",
+                    end_ns > start_ns ? end_ns - start_ns : 0);
+    } else {
+      task.fn();
+    }
   }
+  if (sink_ != nullptr && lane != nullptr) sink_->ReleaseLane();
 }
 
 int ResolveNumThreads(int num_threads) {

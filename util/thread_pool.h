@@ -33,11 +33,19 @@
 
 namespace maimon {
 
+namespace obs {
+class Sink;
+}  // namespace obs
+
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (clamped to >= 1). The pool is fixed for
   /// its lifetime; the destructor drains the queue and joins every worker.
-  explicit ThreadPool(int num_threads);
+  /// With a non-null `sink`, every task's queue wait and run latency land
+  /// in the `pool.queue_wait_ns` / `pool.task_run_ns` histograms (plus a
+  /// `pool.tasks` counter), attributed to the draining worker's lane;
+  /// workers release their lane on exit so later pools reuse the tracks.
+  explicit ThreadPool(int num_threads, obs::Sink* sink = nullptr);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -50,10 +58,16 @@ class ThreadPool {
   void Submit(std::function<void()> task);
 
  private:
+  struct Task {
+    std::function<void()> fn;
+    uint64_t enqueue_ns = 0;  // only stamped when sink_ is set
+  };
+
   void WorkerLoop();
 
+  obs::Sink* const sink_;
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Task> queue_;
   std::mutex mu_;
   std::condition_variable cv_;
   bool stopping_ = false;
