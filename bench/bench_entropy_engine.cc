@@ -143,6 +143,31 @@ void BM_PartitionIntersect(benchmark::State& state) {
 }
 BENCHMARK(BM_PartitionIntersect)->Arg(4096)->Arg(65536)->Arg(1 << 20);
 
+// The fused kernel on the same inputs: epoch-stamped scratch (no restore
+// pass), reused output buffer (no per-call allocation), and the product's
+// entropy accumulated inline — the fold-chain shape the engine runs warm.
+// Compare against BM_PartitionIntersect + an Entropy() re-scan.
+void BM_PartitionIntersectFused(benchmark::State& state) {
+  const int rows = static_cast<int>(state.range(0));
+  Rng rng(5);
+  std::vector<uint32_t> c1(rows), c2(rows);
+  for (int i = 0; i < rows; ++i) {
+    c1[i] = static_cast<uint32_t>(rng.Uniform(64));
+    c2[i] = static_cast<uint32_t>(rng.Uniform(64));
+  }
+  StrippedPartition p1 = StrippedPartition::FromColumn(c1, 64);
+  StrippedPartition p2 = StrippedPartition::FromColumn(c2, 64);
+  IntersectScratch scratch;
+  StrippedPartition out;
+  for (auto _ : state) {
+    double h = 0.0;
+    p1.IntersectInto(p2, &scratch, &out, &h);
+    benchmark::DoNotOptimize(h);
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_PartitionIntersectFused)->Arg(4096)->Arg(65536)->Arg(1 << 20);
+
 // One worker's share of the query mix: indices congruent to `worker` mod
 // `threads` — deterministic, balanced, and identical across the two modes.
 uint64_t RunWorkerSlice(PliEntropyEngine* engine,

@@ -68,6 +68,66 @@ PliCache::PartitionRef PliCache::Touch(AttrSet key) {
   return it->second->partition;
 }
 
+void PliCache::IndexKey(Stripe& s, AttrSet key) {
+  const int w = key.Count();
+  if (s.by_width.size() <= static_cast<size_t>(w)) {
+    s.by_width.resize(static_cast<size_t>(w) + 1);
+  }
+  s.by_width[static_cast<size_t>(w)].push_back(key);
+  if (w > s.max_width) s.max_width = w;
+}
+
+void PliCache::UnindexKey(Stripe& s, AttrSet key) {
+  const int w = key.Count();
+  std::vector<AttrSet>& bucket = s.by_width[static_cast<size_t>(w)];
+  for (AttrSet& k : bucket) {
+    if (k == key) {
+      k = bucket.back();
+      bucket.pop_back();
+      break;
+    }
+  }
+  while (s.max_width > 0 &&
+         s.by_width[static_cast<size_t>(s.max_width)].empty()) {
+    --s.max_width;
+  }
+}
+
+PliCache::PartitionRef PliCache::BestSubset(AttrSet query, AttrSet* key,
+                                            uint64_t* candidates) {
+  const int query_width = query.Count();
+  AttrSet best_key;
+  int best_width = 0;
+  PartitionRef best_ref;
+  uint64_t examined = 0;
+  for (Stripe& s : stripes_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    // Only strictly wider buckets than the best so far can improve; within
+    // a stripe the first subset hit at a width wins that stripe outright.
+    int top = s.max_width < query_width ? s.max_width : query_width;
+    for (int w = top; w > best_width; --w) {
+      bool found = false;
+      for (AttrSet k : s.by_width[static_cast<size_t>(w)]) {
+        ++examined;
+        if (query.ContainsAll(k)) {
+          best_key = k;
+          best_width = w;
+          // Pin under the stripe lock we already hold: no window for a
+          // concurrent eviction between probe and fetch.
+          best_ref = s.index.find(k)->second->partition;
+          found = true;
+          break;
+        }
+      }
+      if (found) break;
+    }
+  }
+  if (candidates != nullptr) *candidates += examined;
+  *key = best_key;
+  if (best_ref != nullptr) Touch(best_key);  // promote the winner only
+  return best_ref;
+}
+
 PliCache::PartitionRef PliCache::Put(AttrSet key, StrippedPartition partition,
                                      Stats* stats) {
   // Shrink before charging: Intersect leaves vector capacity above size,
@@ -95,6 +155,7 @@ PliCache::PartitionRef PliCache::Put(AttrSet key, StrippedPartition partition,
       refresh = e.partition != nullptr;
       Release(e.cost);
       if (e.partition == nullptr) ReleaseValue();
+      if (e.partition != nullptr) UnindexKey(s, key);
       (e.partition != nullptr ? s.lru : s.value_lru).erase(it->second);
       s.index.erase(it);
     }
@@ -141,6 +202,7 @@ PliCache::PartitionRef PliCache::Put(AttrSet key, StrippedPartition partition,
   }
   s.lru.push_front(Entry{key, ref, cost, saved_entropy, saved_has_entropy});
   s.index[key] = s.lru.begin();
+  IndexKey(s, key);
   if (stats != nullptr && !refresh) ++stats->insertions;
   return ref;
 }
@@ -227,6 +289,8 @@ bool PliCache::EvictSomething(Stats* stats) {
     // chain to recompute. Re-reserving after the release keeps the budget
     // invariant; if the segment quota (or a racing reservation) refuses,
     // the memo is dropped with the partition.
+    // Either way the key leaves the partition set — and the subset index.
+    UnindexKey(s, victim.key);
     if (victim.has_entropy && freed > kValueEntryBytes &&
         TryReserve(kValueEntryBytes)) {
       if (TryReserveValue()) {
@@ -261,13 +325,6 @@ bool PliCache::EvictSomeValueEntry(Stats* stats) {
     return true;
   }
   return false;
-}
-
-void PliCache::ForEachKey(const std::function<void(AttrSet)>& fn) const {
-  for (const Stripe& s : stripes_) {
-    std::lock_guard<std::mutex> lock(s.mu);
-    for (const Entry& e : s.lru) fn(e.key);
-  }
 }
 
 size_t PliCache::size() const {

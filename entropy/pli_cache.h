@@ -42,6 +42,15 @@
 // nothing else fits — `bytes` never exceeds the budget, and the memo
 // cannot grow without bound on long mining runs.
 //
+// Each stripe additionally maintains a width-bucketed index of its
+// resident partition keys (bucket w = keys with w attributes), updated
+// under the stripe lock on insert, refresh, eviction, and downgrade. The
+// engine's best-cached-subset probe (BestSubset) scans the buckets in
+// descending width and stops at the first subset hit per stripe, so a
+// cache miss costs O(candidates actually examined) instead of a full
+// O(#residents) key walk per query — the probe used to be the dominant
+// per-miss constant under stripe locks.
+//
 // Determinism note: sharing partitions and memos across threads is safe
 // for the thread-count-invariance contract because H(X) is a pure
 // function of the partition (StrippedPartition::Entropy sums in canonical
@@ -53,7 +62,6 @@
 
 #include <atomic>
 #include <cstdint>
-#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -120,6 +128,18 @@ class PliCache {
   /// would otherwise inflate the hit rate. Still promotes to MRU.
   PartitionRef Touch(AttrSet key);
 
+  /// Widest resident partition whose key is a subset of `query` — the
+  /// engine's intersection-chain starting point. Probes each stripe's
+  /// width buckets in descending width, stopping at the first subset hit
+  /// per stripe and skipping buckets no wider than the best found so far,
+  /// so the cost is O(candidate keys examined), not O(residents). The
+  /// winner is pinned under its stripe lock (no probe/pin race) and
+  /// promoted to MRU; like Touch, no hit/miss accounting. Returns an empty
+  /// ref with `*key` empty when no resident key applies. `candidates`
+  /// (nullable) is incremented by the number of keys examined — the
+  /// `pli.subset_probe.candidates` counter.
+  PartitionRef BestSubset(AttrSet query, AttrSet* key, uint64_t* candidates);
+
   /// Inserts (or refreshes) the partition for `key`, preserving any
   /// memoized entropy value on the entry. The partition is shrunk to fit
   /// before being charged, so the budget reflects real residency. Evicts
@@ -143,8 +163,17 @@ class PliCache {
 
   /// Visits every key with a resident partition (no LRU promotion, no hit
   /// accounting). Holds one stripe lock at a time while visiting, so `fn`
-  /// must not call back into the cache.
-  void ForEachKey(const std::function<void(AttrSet)>& fn) const;
+  /// must not call back into the cache. A template so the per-call
+  /// std::function allocation is gone — the legacy full-scan subset probe
+  /// drove this on every cache miss; only tests and the
+  /// fused_kernels=false oracle walk it now.
+  template <typename Fn>
+  void ForEachKey(Fn&& fn) const {
+    for (const Stripe& s : stripes_) {
+      std::lock_guard<std::mutex> lock(s.mu);
+      for (const Entry& e : s.lru) fn(e.key);
+    }
+  }
 
   /// Resident entries (partitions + value-only memos) across all stripes.
   size_t size() const;
@@ -172,7 +201,19 @@ class PliCache {
     std::list<Entry> lru;        // partition entries; front = MRU
     std::list<Entry> value_lru;  // value-only memo entries; front = MRU
     std::unordered_map<AttrSet, std::list<Entry>::iterator, AttrSetHash> index;
+    /// Width-bucketed resident partition keys: by_width[w] holds this
+    /// stripe's partition keys with w attributes (value-only memo entries
+    /// are never indexed). Maintained under `mu` by IndexKey/UnindexKey at
+    /// every insert/refresh/evict/downgrade; BestSubset scans descending.
+    std::vector<std::vector<AttrSet>> by_width;
+    int max_width = 0;  // highest non-empty bucket (0 = none resident)
   };
+
+  /// Adds `key` to its stripe width bucket. Caller holds s.mu.
+  static void IndexKey(Stripe& s, AttrSet key);
+  /// Removes `key` from its stripe width bucket (swap-with-back; buckets
+  /// are unordered). Caller holds s.mu.
+  static void UnindexKey(Stripe& s, AttrSet key);
 
   Stripe& StripeFor(AttrSet key) {
     return stripes_[AttrSetHash{}(key) % stripes_.size()];

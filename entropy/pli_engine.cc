@@ -29,14 +29,20 @@ PliEntropyEngine::PliEntropyEngine(const Relation& relation,
                                    PliEngineOptions options)
     : core_(std::make_shared<PliSharedCore>(relation, options)),
       cache_(std::make_shared<PliCache>(
-          core_->options().cache_capacity_bytes, core_->options().cache_stripes)),
-      scratch_(relation.NumRows(), -1) {}
+          core_->options().cache_capacity_bytes, core_->options().cache_stripes)) {}
 
 PliEntropyEngine::PliEntropyEngine(std::shared_ptr<const PliSharedCore> core,
                                    std::shared_ptr<PliCache> cache)
-    : core_(std::move(core)),
-      cache_(std::move(cache)),
-      scratch_(core_->relation().NumRows(), -1) {}
+    : core_(std::move(core)), cache_(std::move(cache)) {}
+
+std::vector<int32_t>* PliEntropyEngine::LegacyScratch() {
+  // resize() fills only the NEW slots with -1; the existing prefix keeps
+  // the all -1 invariant the legacy kernel restores after every call.
+  if (scratch_.size() < core_->relation().NumRows()) {
+    scratch_.resize(core_->relation().NumRows(), -1);
+  }
+  return &scratch_;
+}
 
 std::vector<std::unique_ptr<PliEntropyEngine>> PliEntropyEngine::ForkShards(
     int num_shards) const {
@@ -106,17 +112,28 @@ double PliEntropyEngine::Entropy(AttrSet attrs) {
 
   // Stage 1: best cached starting point. `cur` aliases either a pinned
   // cache resident (`held` keeps it alive under concurrent eviction) or a
-  // base PLI; it is only read until the first Intersect.
-  AttrSet have = BestCachedSubset(attrs);
+  // base PLI; it is only read until the first Intersect. The fused path
+  // asks the cache's width index (the winner comes back already pinned);
+  // the legacy path replays the full-scan probe it is the oracle for.
+  const bool fused = options.fused_kernels;
+  AttrSet have;
   PliCache::PartitionRef held;
   const StrippedPartition* cur = nullptr;
-  if (have.Any()) {
-    held = cache_->Touch(have);  // internal probe: promotes, no accounting
+  if (fused) {
+    ++subset_probes_;
+    held = cache_->BestSubset(attrs, &have, &subset_probe_candidates_);
     if (held != nullptr) cur = held.get();
+  } else {
+    have = BestCachedSubset(attrs);
+    if (have.Any()) {
+      held = cache_->Touch(have);  // internal probe: promotes, no accounting
+      if (held != nullptr) cur = held.get();
+    }
   }
   if (cur == nullptr) {
-    // Nothing cached applies (or a concurrent eviction won the race
-    // between ForEachKey and Touch): start from a base single-column PLI.
+    // Nothing cached applies (or, on the legacy path, a concurrent
+    // eviction won the race between ForEachKey and Touch): start from a
+    // base single-column PLI.
     const int first = attrs.First();
     have = AttrSet::Single(first);
     cur = &core_->Single(first);
@@ -130,31 +147,60 @@ double PliEntropyEngine::Entropy(AttrSet attrs) {
 
   // Stage 2: fold in the missing attributes one base PLI at a time, staging
   // block-sized intermediates into the LRU cache so later queries that share
-  // the prefix start further along.
-  StrippedPartition owned;  // backing storage once `cur` is a fresh product
-  for (int c : attrs.Minus(have).ToVector()) {
-    owned = cur->Intersect(core_->Single(c), &scratch_);
+  // the prefix start further along. `local` tracks which engine-owned buffer
+  // (if any) currently backs `cur`, so the tail staging below can move it
+  // out without a const_cast.
+  double h = 0.0;
+  bool h_from_fusion = false;
+  StrippedPartition owned;           // legacy-path product storage
+  StrippedPartition* local = nullptr;
+  const std::vector<int> missing = attrs.Minus(have).ToVector();
+  for (size_t i = 0; i < missing.size(); ++i) {
+    const int c = missing[i];
+    if (fused) {
+      // Ping-pong between the two fold buffers: the chain's k products
+      // reuse two allocations (clear() keeps capacity), and a buffer
+      // donated to the cache by the staging Put below simply re-grows on
+      // its next turn.
+      StrippedPartition* out =
+          (cur == &fold_bufs_[0]) ? &fold_bufs_[1] : &fold_bufs_[0];
+      const bool last = i + 1 == missing.size();
+      cur->IntersectInto(core_->Single(c), &epoch_scratch_, out,
+                         last ? &h : nullptr);
+      if (last) {
+        h_from_fusion = true;
+        ++fused_entropies_;
+      }
+      local = out;
+    } else {
+      owned = cur->Intersect(core_->Single(c), LegacyScratch());
+      local = &owned;
+    }
     ++intersections_;
     have.Add(c);
-    cur = &owned;
+    cur = local;
     held.reset();  // previous pin no longer read
     if (have.Count() <= options.block_size && have != attrs &&
-        owned.MemoryBytes() <= cache_->capacity_bytes()) {
+        local->MemoryBytes() <= cache_->capacity_bytes()) {
       // Put cannot reject (capacity pre-checked, and shrinking inside Put
-      // only lowers the cost), so `owned` may be moved into the cache and
-      // `cur` re-pointed at the resident (pinned) copy.
-      held = cache_->Put(have, std::move(owned), &cache_stats_);
+      // only lowers the cost), so the product may be moved into the cache
+      // and `cur` re-pointed at the resident (pinned) copy.
+      held = cache_->Put(have, std::move(*local), &cache_stats_);
       assert(held != nullptr);
       cur = held.get();
+      local = nullptr;
     }
   }
 
-  const double h = cur->Entropy();
+  // The fused kernel already produced H on the last fold; every other way
+  // here (legacy kernel, or a BestSubset race that returned `attrs` itself)
+  // scans the final partition once.
+  if (!h_from_fusion) h = cur->Entropy();
   // The full query partition is also worth staging when narrow enough:
   // MVDMiner re-queries supersets of it immediately.
-  if (attrs.Count() <= options.block_size && cur == &owned &&
-      owned.MemoryBytes() <= cache_->capacity_bytes()) {
-    cache_->Put(attrs, std::move(owned), &cache_stats_);
+  if (attrs.Count() <= options.block_size && local != nullptr &&
+      local->MemoryBytes() <= cache_->capacity_bytes()) {
+    cache_->Put(attrs, std::move(*local), &cache_stats_);
   }
   // Memoize after the partition Put so the value attaches to the resident
   // entry for free instead of opening a value-only entry.
@@ -189,6 +235,9 @@ PliEntropyEngine::Stats PliEntropyEngine::stats() const {
   s.queries += num_queries_;
   s.value_hits += value_hits_;
   s.intersections += intersections_;
+  s.subset_probes += subset_probes_;
+  s.subset_probe_candidates += subset_probe_candidates_;
+  s.fused_entropies += fused_entropies_;
   for (int i = 0; i < Stats::kDepthBuckets; ++i) {
     s.depth_hist[i] += depth_hist_[i];
   }
@@ -202,6 +251,9 @@ void AppendEngineMetrics(const PliEntropyEngine::Stats& stats,
   registry->Count("pli.queries", stats.queries);
   registry->Count("pli.value_hits", stats.value_hits);
   registry->Count("pli.intersections", stats.intersections);
+  registry->Count("pli.subset_probe.probes", stats.subset_probes);
+  registry->Count("pli.subset_probe.candidates", stats.subset_probe_candidates);
+  registry->Count("pli.fused.entropies", stats.fused_entropies);
   registry->Count("pli.cache.hits", stats.cache.hits);
   registry->Count("pli.cache.misses", stats.cache.misses);
   registry->Count("pli.cache.insertions", stats.cache.insertions);

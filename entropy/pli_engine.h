@@ -67,6 +67,14 @@ struct PliEngineOptions {
   /// Lock stripes for the shared cache; <= 0 picks the default (16). One
   /// stripe gives exact global LRU order (useful in tests).
   int cache_stripes = 0;
+  /// Run the fused hot kernels: epoch-stamped intersect scratch (no
+  /// restore pass), one-pass intersect+entropy on the final fold (no
+  /// re-scan of the group structure), the width-indexed cache-subset
+  /// probe, and fold-buffer reuse across the intersection chain. Off
+  /// selects the legacy three-pass kernel + full-cache ForEachKey probe —
+  /// kept for one release as the differential oracle (bit-identical H by
+  /// contract; see tests/entropy_agreement_test.cc).
+  bool fused_kernels = true;
 };
 
 /// The immutable half of the engine: everything every worker reads and no
@@ -132,6 +140,13 @@ class PliEntropyEngine : public EntropyEngine {
     uint64_t queries = 0;
     uint64_t value_hits = 0;     // answered from the H(X) memo
     uint64_t intersections = 0;  // partition products performed
+    /// Fused-kernel counters: indexed subset probes issued, candidate keys
+    /// those probes examined (the old full scan examined every resident —
+    /// perf_guard_test bounds the per-probe average), and H values
+    /// produced inline by the one-pass intersect+entropy kernel.
+    uint64_t subset_probes = 0;
+    uint64_t subset_probe_candidates = 0;
+    uint64_t fused_entropies = 0;
     uint64_t depth_hist[kDepthBuckets] = {};
     PliCache::Stats cache;       // partition LRU counters
 
@@ -147,6 +162,9 @@ class PliEntropyEngine : public EntropyEngine {
       queries += other.queries;
       value_hits += other.value_hits;
       intersections += other.intersections;
+      subset_probes += other.subset_probes;
+      subset_probe_candidates += other.subset_probe_candidates;
+      fused_entropies += other.fused_entropies;
       for (int i = 0; i < kDepthBuckets; ++i) {
         depth_hist[i] += other.depth_hist[i];
       }
@@ -167,17 +185,30 @@ class PliEntropyEngine : public EntropyEngine {
   PliEntropyEngine(std::shared_ptr<const PliSharedCore> core,
                    std::shared_ptr<PliCache> cache);
 
-  /// Largest cached subset of `attrs` (single columns count as cached).
-  /// Returns the empty set when nothing applies.
+  /// Legacy probe (fused_kernels = false): full ForEachKey scan for the
+  /// largest cached subset of `attrs`. Returns the empty set when nothing
+  /// applies. The fused path asks the cache's width index instead
+  /// (PliCache::BestSubset).
   AttrSet BestCachedSubset(AttrSet attrs) const;
+  /// Grows the legacy all -1 scratch to the relation width on first use
+  /// (the fused path never allocates it).
+  std::vector<int32_t>* LegacyScratch();
 
   std::shared_ptr<const PliSharedCore> core_;
   std::shared_ptr<PliCache> cache_;  // shared: partitions + the H(X) memo
   PliCache::Stats cache_stats_;   // this handle's slice of cache counters
-  std::vector<int32_t> scratch_;  // size NumRows, kept all -1 between calls
+  IntersectScratch epoch_scratch_;   // fused kernel tag scratch
+  /// Fold-chain output buffers, ping-ponged so a depth-k chain reuses two
+  /// allocations instead of making k. A buffer whose partition is staged
+  /// into the cache donates its storage (moved out) and re-grows later.
+  StrippedPartition fold_bufs_[2];
+  std::vector<int32_t> scratch_;  // legacy kernel: all -1 between calls
   uint64_t num_queries_ = 0;
   uint64_t value_hits_ = 0;
   uint64_t intersections_ = 0;
+  uint64_t subset_probes_ = 0;
+  uint64_t subset_probe_candidates_ = 0;
+  uint64_t fused_entropies_ = 0;
   uint64_t depth_hist_[Stats::kDepthBuckets] = {};
   Stats merged_;  // counters folded in from forked workers
 };
@@ -198,7 +229,9 @@ class MetricsRegistry;
 }  // namespace obs
 
 /// Exports an engine's counters into an obs registry under the `pli.*`
-/// namespace: queries / value_hits / intersections, the cache counters
+/// namespace: queries / value_hits / intersections, the fused-kernel
+/// counters (`pli.subset_probe.probes`, `pli.subset_probe.candidates`,
+/// `pli.fused.entropies`), the cache counters
 /// (hits, misses, insertions, value_insertions, evictions), the
 /// `pli.cache.resident_bytes` gauge (high-water across folds), and the
 /// `pli.intersect_depth` histogram. Fold ONCE per engine, after its

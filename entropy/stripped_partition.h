@@ -8,10 +8,21 @@
 // so Intersect streams over contiguous memory.
 //
 // Intersect uses the probe-table idiom from the FD/MVD-discovery literature
-// (TANE): tag rows of the left partition with their group id in a caller
-// provided scratch vector, then bucket each right group by tag. Cost is
-// linear in the stored (non-singleton) rows; the scratch vector is reused
-// across calls so the hot loop performs no allocation once warm.
+// (TANE): tag rows of the left partition with their group id, then bucket
+// each right group by tag. Cost is linear in the stored (non-singleton)
+// rows. Two kernels exist:
+//
+//   * the fused kernel (IntersectInto / Intersect over IntersectScratch):
+//     tags carry an epoch stamp, so invalidating the scratch between calls
+//     is a counter increment instead of a restore pass — the legacy
+//     phase 3 is gone. The caller may also request the product's entropy,
+//     which is accumulated from the group sizes phase 2 already computes
+//     (no re-scan of the group structure), and IntersectInto recycles the
+//     output partition's row/starts storage so a warm fold chain performs
+//     no allocation.
+//   * the legacy three-pass kernel (Intersect over a caller-provided all
+//     -1 scratch vector): tag, split, restore. Kept for one release as the
+//     differential oracle behind PliEngineOptions::fused_kernels = false.
 
 #ifndef MAIMON_ENTROPY_STRIPPED_PARTITION_H_
 #define MAIMON_ENTROPY_STRIPPED_PARTITION_H_
@@ -21,6 +32,27 @@
 #include <vector>
 
 namespace maimon {
+
+/// Epoch-stamped tag scratch for the fused Intersect kernel. Each slot
+/// packs (epoch << 32) | group-id; a tag is valid iff its stamped epoch
+/// equals the scratch's current epoch, so "clearing" the scratch between
+/// calls costs one counter increment — no pass over the rows. The epoch
+/// wraps every 2^32 intersections; the wrap zero-fills the slots once and
+/// restarts at epoch 1 (slot value 0 reads as epoch 0, which is never
+/// current). Grows lazily to the widest relation seen; one scratch is
+/// owned by one thread at a time.
+class IntersectScratch {
+ public:
+  uint32_t epoch() const { return epoch_; }
+  /// Test hook: jump the epoch counter (e.g. to UINT32_MAX - 2) so the
+  /// wraparound path runs without 2^32 warm-up calls.
+  void SetEpochForTest(uint32_t epoch) { epoch_ = epoch; }
+
+ private:
+  friend class StrippedPartition;
+  std::vector<uint64_t> slots_;  // (epoch << 32) | left-group id, per row
+  uint32_t epoch_ = 0;           // last issued epoch; 0 = nothing stamped
+};
 
 class StrippedPartition {
  public:
@@ -34,9 +66,27 @@ class StrippedPartition {
   /// The identity partition {all rows}: the PLI of the empty attribute set.
   static StrippedPartition Identity(size_t num_rows);
 
-  /// Product partition `this ∧ other` (group-by on the union of the two
-  /// attribute sets). `scratch` must have size >= NumRows() and contain -1
-  /// everywhere on entry; it is restored to all -1 before returning.
+  /// Fused kernel, product partition `this ∧ other` (group-by on the union
+  /// of the two attribute sets) over the epoch-stamped scratch.
+  StrippedPartition Intersect(const StrippedPartition& other,
+                              IntersectScratch* scratch) const;
+
+  /// Fused kernel writing the product into `*out`, recycling out's
+  /// row/starts storage (clear() keeps capacity — a warm fold chain stops
+  /// allocating). `out` must not alias `this` or `other`. When
+  /// `entropy_out` is non-null it receives the product's Shannon entropy,
+  /// accumulated inline from the group sizes phase 2 computes —
+  /// bit-identical to calling out->Entropy() (the same canonical
+  /// ascending-size accumulation order), without re-scanning the group
+  /// structure.
+  void IntersectInto(const StrippedPartition& other, IntersectScratch* scratch,
+                     StrippedPartition* out,
+                     double* entropy_out = nullptr) const;
+
+  /// Legacy three-pass kernel (tag, split, restore-tags). `scratch` must
+  /// have size >= NumRows() and contain -1 everywhere on entry; it is
+  /// restored to all -1 before returning. The fused_kernels=false
+  /// differential oracle; scheduled for removal after one release.
   StrippedPartition Intersect(const StrippedPartition& other,
                               std::vector<int32_t>* scratch) const;
 

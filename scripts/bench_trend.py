@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+# Copyright (c) Maimon-cpp authors. Licensed under the MIT license.
+"""Perf-trajectory gate over the committed figure-bench snapshots.
+
+Compares freshly generated fig13/fig14/fig15 JSONL rows against the
+committed BENCH_*.json baselines and fails (exit 1) when any comparable
+row's wall time regressed by more than the threshold. This is the
+repo-level guard that keeps the perf story monotone across PRs: the
+committed snapshots are produced with the exact CI bench-smoke flags, so
+the CI smoke output is directly comparable.
+
+Usage:
+  bench_trend.py [--threshold 0.25] [--min-seconds 0.05] \
+      BASELINE FRESH [BASELINE FRESH ...]
+  bench_trend.py --check-baselines BENCH_fig13.json BENCH_fig14.json ...
+
+Rows are matched on their identity columns (fig, dataset, rows/cols, eps,
+threads, walk); metric columns (seconds, oracle_calls, ...) never
+participate in matching. A row is skipped, not compared, when:
+
+  * the baseline row timed out (its `seconds` is the budget clamp, not a
+    measurement);
+  * the baseline is below --min-seconds (noise floor: a 20 ms row can
+    double on scheduler jitter alone);
+  * the row carries no `seconds` at all (fig15's quality rows — matched
+    for presence, never timed).
+
+A fresh row that times out where its baseline did not is always a
+failure, whatever the seconds say. Rows present on only one side are
+reported but do not fail the gate (bench configs legitimately drift;
+snapshot-schema drift is caught by the CI key-set check).
+
+Timing comparisons assume both sides ran on the same class of machine —
+true for the committed-snapshot flow (snapshots are refreshed from the
+same tree that runs the smoke). Widen --threshold when comparing across
+machines.
+"""
+
+import argparse
+import json
+import sys
+
+# Columns that identify a row across runs. Everything else is a metric.
+ID_KEYS = ("fig", "dataset", "rows", "cols", "eps", "threads", "walk")
+
+
+def load_rows(path):
+    rows = []
+    with open(path) as f:
+        for num, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rows.append(json.loads(line))
+            except json.JSONDecodeError as e:
+                raise SystemExit(f"{path}:{num}: not JSON: {e}")
+    if not rows:
+        raise SystemExit(f"{path}: empty snapshot")
+    return rows
+
+
+def identity(row):
+    return tuple((k, row[k]) for k in ID_KEYS if k in row)
+
+
+def index_rows(path, rows):
+    by_id = {}
+    for row in rows:
+        key = identity(row)
+        if key in by_id:
+            raise SystemExit(f"{path}: duplicate row identity {dict(key)}")
+        by_id[key] = row
+    return by_id
+
+
+def check_baselines(paths):
+    for path in paths:
+        rows = load_rows(path)
+        index_rows(path, rows)  # identity columns present and unique
+        print(f"  {path}: {len(rows)} row(s) ok")
+    return 0
+
+
+def compare_pair(base_path, fresh_path, threshold, min_seconds):
+    base = index_rows(base_path, load_rows(base_path))
+    fresh = index_rows(fresh_path, load_rows(fresh_path))
+
+    compared = skipped = untimed = 0
+    failures = []
+    for key, b in base.items():
+        f = fresh.get(key)
+        if f is None:
+            print(f"  [only-baseline] {dict(key)}")
+            continue
+        if "seconds" not in b or "seconds" not in f:
+            untimed += 1
+            continue
+        if f.get("timed_out") and not b.get("timed_out"):
+            failures.append((key, b, f, "newly timed out"))
+            continue
+        if b.get("timed_out") or b["seconds"] < min_seconds:
+            skipped += 1
+            continue
+        compared += 1
+        limit = b["seconds"] * (1.0 + threshold)
+        if f["seconds"] > limit:
+            pct = (f["seconds"] / b["seconds"] - 1.0) * 100.0
+            failures.append((key, b, f, f"+{pct:.0f}%"))
+    for key in fresh:
+        if key not in base:
+            print(f"  [only-fresh] {dict(key)}")
+
+    print(f"  {base_path} vs {fresh_path}: {compared} compared, "
+          f"{skipped} skipped (timed-out/noise-floor), {untimed} untimed, "
+          f"{len(failures)} regression(s)")
+    for key, b, f, why in failures:
+        print(f"  REGRESSION {dict(key)}: "
+              f"{b['seconds']:.3f}s -> {f['seconds']:.3f}s ({why})")
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="allowed relative wall-time growth (0.25 = 25%%)")
+    parser.add_argument("--min-seconds", type=float, default=0.05,
+                        help="baseline rows below this are noise, skipped")
+    parser.add_argument("--check-baselines", action="store_true",
+                        help="only validate that the given snapshots parse "
+                             "as non-empty JSONL with unique row identities")
+    parser.add_argument("files", nargs="+",
+                        help="snapshot paths (--check-baselines), or "
+                             "BASELINE FRESH pairs")
+    args = parser.parse_args()
+
+    if args.check_baselines:
+        return check_baselines(args.files)
+
+    if len(args.files) % 2 != 0:
+        parser.error("comparison mode takes BASELINE FRESH pairs")
+    failures = []
+    for i in range(0, len(args.files), 2):
+        failures += compare_pair(args.files[i], args.files[i + 1],
+                                 args.threshold, args.min_seconds)
+    if failures:
+        print(f"bench_trend: {len(failures)} wall-time regression(s) beyond "
+              f"{args.threshold:.0%}")
+        return 1
+    print("bench_trend: no wall-time regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

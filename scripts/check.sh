@@ -75,20 +75,15 @@ if [[ "${asan}" -eq 1 ]]; then
 fi
 
 # The committed figure snapshots (bench-smoke outputs) must stay parseable
-# JSONL with non-empty rows — a bad merge or a bench output-format drift
-# fails here, not when someone plots them.
+# JSONL with non-empty rows and unique row identities — a bad merge or a
+# bench output-format drift fails here, not when someone plots them. The
+# same tool compares fresh smoke runs against these baselines in CI
+# (scripts/bench_trend.py without --check-baselines).
 if command -v python3 >/dev/null 2>&1; then
-  echo "--- BENCH snapshots parse ---"
-  python3 - "${repo_root}/BENCH_fig13.json" "${repo_root}/BENCH_fig14.json" \
-            "${repo_root}/BENCH_fig15.json" <<'PY'
-import json, sys
-for path in sys.argv[1:]:
-    with open(path) as f:
-        rows = [json.loads(line) for line in f if line.strip()]
-    if not rows:
-        raise SystemExit(f"{path}: empty snapshot")
-    print(f"  {path}: {len(rows)} row(s) ok")
-PY
+  echo "--- BENCH snapshots parse (bench_trend.py --check-baselines) ---"
+  python3 "${repo_root}/scripts/bench_trend.py" --check-baselines \
+          "${repo_root}/BENCH_fig13.json" "${repo_root}/BENCH_fig14.json" \
+          "${repo_root}/BENCH_fig15.json"
 else
   echo "--- python3 absent: BENCH snapshot parse check skipped"
 fi

@@ -17,7 +17,9 @@
 //     nothing measurable — the instrumentation contract that let spans
 //     land inside MineOnePair and the pair grid in the first place.
 
+#include <algorithm>
 #include <cstdio>
+#include <vector>
 
 #include "core/maimon.h"
 #include "data/planted.h"
@@ -105,6 +107,108 @@ TEST_CASE(WarmPliBeatsNaiveByTenX) {
   std::printf("  null-sink spans: %.4f us/query (%.0fx vs naive)\n",
               wrapped_per_query * 1e6, wrapped_speedup);
   CHECK(wrapped_speedup >= 10.0);
+}
+
+TEST_CASE(FusedIntersectKernelIsNotSlowerThanLegacy) {
+  // Kernel-level guard for the fused rewrite: on a warm loop the epoch
+  // scratch + buffer-reuse kernel must not lose to the legacy three-pass
+  // kernel it replaces (it drops a full restore pass and the per-call
+  // allocation, so it should win; the gate only demands parity with a
+  // small noise margin). Best-of-N timing keeps a CI scheduler hiccup
+  // from failing the build.
+  PlantedSpec spec;
+  spec.num_attrs = 4;
+  spec.num_bags = 1;
+  spec.root_rows = 8192;
+  spec.max_rows = 16384;
+  spec.noise_fraction = 0.05;
+  spec.domain_size = 24;
+  spec.seed = 3;
+  const Relation r = GeneratePlanted(spec).relation;
+  const StrippedPartition a =
+      StrippedPartition::FromColumn(r.Column(0), r.DomainSize(0));
+  const StrippedPartition b =
+      StrippedPartition::FromColumn(r.Column(1), r.DomainSize(1));
+
+  constexpr int kReps = 40;
+  constexpr int kTrials = 7;
+
+  // Warm both paths once, then take the best trial of each.
+  IntersectScratch scratch;
+  StrippedPartition out;
+  a.IntersectInto(b, &scratch, &out);
+  std::vector<int32_t> legacy_scratch(r.NumRows(), -1);
+  StrippedPartition legacy_out = a.Intersect(b, &legacy_scratch);
+
+  double fused_best = 1e99;
+  double legacy_best = 1e99;
+  double sink = 0.0;
+  for (int t = 0; t < kTrials; ++t) {
+    Stopwatch fused_watch;
+    for (int i = 0; i < kReps; ++i) {
+      double h = 0.0;
+      a.IntersectInto(b, &scratch, &out, &h);
+      sink += h;
+    }
+    fused_best = std::min(fused_best, fused_watch.ElapsedSeconds());
+
+    Stopwatch legacy_watch;
+    for (int i = 0; i < kReps; ++i) {
+      legacy_out = a.Intersect(b, &legacy_scratch);
+      sink += legacy_out.Entropy();
+    }
+    legacy_best = std::min(legacy_best, legacy_watch.ElapsedSeconds());
+  }
+  const double rows = static_cast<double>(r.NumRows()) * kReps;
+  std::printf("  intersect+entropy: fused %.2f ns/row, legacy %.2f ns/row"
+              " (sink %.1f)\n",
+              fused_best / rows * 1e9, legacy_best / rows * 1e9, sink);
+  CHECK(fused_best <= legacy_best * 1.10);
+}
+
+TEST_CASE(SubsetProbeExaminesFewCandidatesPerQuery) {
+  // The indexed probe's whole point: a cache miss no longer walks every
+  // resident key. Run the warm 12-col query mix and bound the AVERAGE
+  // candidates examined per probe — the legacy full scan examined every
+  // resident (hundreds here) on every one of these probes.
+  PlantedSpec spec;
+  spec.num_attrs = 12;
+  spec.num_bags = 3;
+  spec.root_rows = 512;
+  spec.max_rows = 2048;
+  spec.noise_fraction = 0.05;
+  spec.domain_size = 8;
+  spec.seed = 1;
+  const Relation r = GeneratePlanted(spec).relation;
+
+  Rng rng(2);
+  std::vector<AttrSet> queries;
+  const uint64_t mask = (uint64_t{1} << r.NumCols()) - 1;
+  for (int i = 0; i < 256; ++i) {
+    AttrSet q(rng.Next64() & mask);
+    if (q.Empty()) q.Add(static_cast<int>(rng.Uniform(r.NumCols())));
+    queries.push_back(q);
+  }
+  PliEntropyEngine pli(r);
+  for (int pass = 0; pass < 3; ++pass) {
+    for (AttrSet q : queries) pli.Entropy(q);
+  }
+  const auto stats = pli.stats();
+  CHECK(stats.subset_probes > 0);
+  const double avg = static_cast<double>(stats.subset_probe_candidates) /
+                     static_cast<double>(stats.subset_probes);
+  std::printf("  subset probe: %llu probes, %.1f candidates/probe, %zu"
+              " residents\n",
+              static_cast<unsigned long long>(stats.subset_probes), avg,
+              pli.cache().size());
+  // The legacy full scan examined every resident on every probe, so the
+  // per-probe cost gate is relative to the resident count (the fixture is
+  // single-threaded and deterministic: ~500 residents, ~100 candidates).
+  // The absolute cushion catches a future probe rewrite that blows up on
+  // this adversarial mix (random queries, little width structure) even if
+  // the resident count grows with it.
+  CHECK(avg <= 0.33 * static_cast<double>(pli.cache().size()));
+  CHECK(avg <= 160.0);
 }
 
 // Cache hit rate of a full MVD-mining run at `threads` workers, from the

@@ -255,6 +255,90 @@ TEST_CASE(ShrinkToFitIsChargedNotTheIntersectOverallocation) {
   CHECK_EQ(cache.bytes(), fit_bytes);
 }
 
+TEST_CASE(BestSubsetReturnsWidestApplicableKey) {
+  PliCache cache(size_t{1} << 20, /*num_stripes=*/1);
+  PliCache::Stats st;
+  cache.Put(AttrSet(0b0001), MakePartition(64), &st);      // width 1, subset
+  cache.Put(AttrSet(0b0011), MakePartition(64), &st);      // width 2, subset
+  cache.Put(AttrSet(0b0111), MakePartition(64), &st);      // width 3, subset
+  cache.Put(AttrSet(0b11000000), MakePartition(64), &st);  // width 2, not
+
+  AttrSet key;
+  uint64_t candidates = 0;
+  const PliCache::PartitionRef ref =
+      cache.BestSubset(AttrSet(0b1111), &key, &candidates);
+  CHECK(ref != nullptr);
+  CHECK_EQ(key, AttrSet(0b0111));
+  // Descending-width scan with early exit: the width-3 bucket hits on its
+  // first key, so narrower buckets are never examined. Only the width-3
+  // candidate is charged.
+  CHECK_EQ(candidates, 1u);
+
+  // No resident key applies: empty result. Buckets wider than the query
+  // (the width-3 key) are skipped outright — they cannot fit inside it.
+  key = AttrSet(0b1);
+  const PliCache::PartitionRef none =
+      cache.BestSubset(AttrSet(0b110000), &key, &candidates);
+  CHECK(none == nullptr);
+  CHECK(key.Empty());
+}
+
+TEST_CASE(BestSubsetTracksEvictionDowngradeAndRefresh) {
+  const size_t entry_bytes = MakePartition(256).MemoryBytes();
+  PliCache cache(3 * entry_bytes + entry_bytes / 2, /*num_stripes=*/1);
+  PliCache::Stats st;
+  cache.Put(AttrSet(0b011), MakePartition(256), &st);
+  cache.PutEntropy(AttrSet(0b011), 1.25, &st);  // memo → evicts to value-only
+
+  // Push the key out of the partition set; it downgrades to a value-only
+  // memo entry, which the subset index must forget.
+  cache.Put(AttrSet(0b100), MakePartition(256), &st);
+  cache.Put(AttrSet(0b1000), MakePartition(256), &st);
+  cache.Put(AttrSet(0b10000), MakePartition(256), &st);
+  CHECK(!cache.Contains(AttrSet(0b011)));
+  double h = 0.0;
+  CHECK(cache.GetEntropy(AttrSet(0b011), &h));  // downgraded, not dropped
+
+  AttrSet key;
+  uint64_t candidates = 0;
+  // The width-2 downgraded key must NOT come back; the width-1 resident
+  // subset wins instead.
+  const PliCache::PartitionRef ref =
+      cache.BestSubset(AttrSet(0b111), &key, &candidates);
+  CHECK(ref != nullptr);
+  CHECK_EQ(key, AttrSet(0b100));
+
+  // Re-inserting (refresh path) restores the key to the index exactly once.
+  cache.Put(AttrSet(0b011), MakePartition(256), &st);
+  cache.Put(AttrSet(0b011), MakePartition(256), &st);  // refresh, same key
+  candidates = 0;
+  const PliCache::PartitionRef again =
+      cache.BestSubset(AttrSet(0b011), &key, &candidates);
+  CHECK(again != nullptr);
+  CHECK_EQ(key, AttrSet(0b011));
+  CHECK_EQ(candidates, 1u);  // one copy in the bucket, not two
+}
+
+TEST_CASE(BestSubsetPromotesOnlyTheWinner) {
+  const size_t entry_bytes = MakePartition(256).MemoryBytes();
+  PliCache cache(3 * entry_bytes + entry_bytes / 2, /*num_stripes=*/1);
+  PliCache::Stats st;
+  cache.Put(AttrSet(0b001), MakePartition(256), &st);  // LRU after the others
+  cache.Put(AttrSet(0b010), MakePartition(256), &st);
+  cache.Put(AttrSet(0b110), MakePartition(256), &st);  // MRU, widest
+
+  AttrSet key;
+  const PliCache::PartitionRef ref = cache.BestSubset(AttrSet(0b111), &key,
+                                                      /*candidates=*/nullptr);
+  CHECK_EQ(key, AttrSet(0b110));
+  // The winner was promoted; the losing candidates were not, so the next
+  // eviction takes AttrSet(0b001) — still the global LRU.
+  cache.Put(AttrSet(0b1000), MakePartition(256), &st);
+  CHECK(!cache.Contains(AttrSet(0b001)));
+  CHECK(cache.Contains(AttrSet(0b010)));
+  CHECK(cache.Contains(AttrSet(0b110)));
+}
+
 // Eight threads of mixed Get/Put/memo traffic against a cache sized to
 // force constant eviction. Checks the concurrency contract:
 //   * bytes() <= capacity at EVERY observation (reservation-before-insert);

@@ -116,6 +116,110 @@ TEST_CASE(IntersectAssociativeOnChains) {
   CHECK_NEAR(left.Entropy(), right.Entropy(), 1e-12);
 }
 
+TEST_CASE(FusedIntersectMatchesLegacyAndBruteForce) {
+  Rng rng(11);
+  IntersectScratch scratch;
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t rows = 2 + rng.Uniform(600);
+    const uint32_t d1 = 1 + static_cast<uint32_t>(rng.Uniform(24));
+    const uint32_t d2 = 1 + static_cast<uint32_t>(rng.Uniform(24));
+    const auto c1 = RandomColumn(rows, d1, &rng);
+    const auto c2 = RandomColumn(rows, d2, &rng);
+    const StrippedPartition p1 = StrippedPartition::FromColumn(c1, d1);
+    const StrippedPartition p2 = StrippedPartition::FromColumn(c2, d2);
+
+    // One scratch across all trials: every call must invalidate the
+    // previous trial's tags via the epoch bump alone.
+    const StrippedPartition fused = p1.Intersect(p2, &scratch);
+    std::vector<int32_t> legacy_scratch(rows, -1);
+    const StrippedPartition legacy = p1.Intersect(p2, &legacy_scratch);
+
+    CHECK_EQ(fused.NumRows(), rows);
+    CHECK_EQ(PartitionGroupSizes(fused), PartitionGroupSizes(legacy));
+    CHECK_EQ(PartitionGroupSizes(fused), BruteGroupSizes({&c1, &c2}, rows));
+    // Bit-identity contract: H is a pure function of the partition and both
+    // kernels finish through the same accumulation, so exact equality.
+    CHECK_EQ(fused.Entropy(), legacy.Entropy());
+  }
+}
+
+TEST_CASE(FusedEntropyOutIsBitIdenticalToRescan) {
+  Rng rng(12);
+  IntersectScratch scratch;
+  StrippedPartition out;
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t rows = 2 + rng.Uniform(500);
+    const uint32_t d1 = 1 + static_cast<uint32_t>(rng.Uniform(16));
+    const uint32_t d2 = 1 + static_cast<uint32_t>(rng.Uniform(16));
+    const auto c1 = RandomColumn(rows, d1, &rng);
+    const auto c2 = RandomColumn(rows, d2, &rng);
+    const auto p1 = StrippedPartition::FromColumn(c1, d1);
+    const auto p2 = StrippedPartition::FromColumn(c2, d2);
+
+    // `out` is reused across trials: IntersectInto must fully reset it.
+    double h = -1.0;
+    p1.IntersectInto(p2, &scratch, &out, &h);
+    CHECK_EQ(h, out.Entropy());
+
+    // Without an entropy request the product is the same partition.
+    StrippedPartition out2;
+    p1.IntersectInto(p2, &scratch, &out2);
+    CHECK_EQ(PartitionGroupSizes(out), PartitionGroupSizes(out2));
+  }
+}
+
+TEST_CASE(FusedChainReusesBuffersAndStaysCorrect) {
+  Rng rng(13);
+  const size_t rows = 400;
+  const uint32_t domain = 6;
+  const auto c1 = RandomColumn(rows, domain, &rng);
+  const auto c2 = RandomColumn(rows, domain, &rng);
+  const auto c3 = RandomColumn(rows, domain, &rng);
+  const auto p1 = StrippedPartition::FromColumn(c1, domain);
+  const auto p2 = StrippedPartition::FromColumn(c2, domain);
+  const auto p3 = StrippedPartition::FromColumn(c3, domain);
+
+  // Ping-pong two buffers down the chain, the engine's fold pattern.
+  IntersectScratch scratch;
+  StrippedPartition bufs[2];
+  p1.IntersectInto(p2, &scratch, &bufs[0]);
+  double h = -1.0;
+  bufs[0].IntersectInto(p3, &scratch, &bufs[1], &h);
+  CHECK_EQ(PartitionGroupSizes(bufs[1]), BruteGroupSizes({&c1, &c2, &c3}, rows));
+  CHECK_EQ(h, bufs[1].Entropy());
+
+  // Same chain through the legacy kernel: bit-identical H.
+  std::vector<int32_t> legacy_scratch(rows, -1);
+  const auto legacy = p1.Intersect(p2, &legacy_scratch).Intersect(p3, &legacy_scratch);
+  CHECK_EQ(h, legacy.Entropy());
+}
+
+TEST_CASE(EpochScratchSurvivesWraparound) {
+  Rng rng(14);
+  const size_t rows = 300;
+  const uint32_t domain = 5;
+  const auto c1 = RandomColumn(rows, domain, &rng);
+  const auto c2 = RandomColumn(rows, domain, &rng);
+  const auto p1 = StrippedPartition::FromColumn(c1, domain);
+  const auto p2 = StrippedPartition::FromColumn(c2, domain);
+  const auto expected = BruteGroupSizes({&c1, &c2}, rows);
+
+  IntersectScratch scratch;
+  // Stamp real tags first so the wrap has stale state to invalidate.
+  CHECK_EQ(PartitionGroupSizes(p1.Intersect(p2, &scratch)), expected);
+  CHECK_EQ(scratch.epoch(), 1u);
+
+  // Jump to the edge: the next calls walk epoch through UINT32_MAX and
+  // around. The wrap path must zero-fill and restart at 1, never 0 —
+  // slot value 0 parses as epoch 0 and must never read as current.
+  scratch.SetEpochForTest(UINT32_MAX - 2);
+  for (int i = 0; i < 6; ++i) {
+    CHECK_EQ(PartitionGroupSizes(p1.Intersect(p2, &scratch)), expected);
+    CHECK(scratch.epoch() != 0u);
+  }
+  CHECK_EQ(scratch.epoch(), 4u);  // MAX-1, MAX, wrap->1, 2, 3, 4
+}
+
 TEST_CASE(IdentityIsNeutralElement) {
   Rng rng(4);
   const size_t rows = 257;

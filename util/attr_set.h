@@ -9,6 +9,7 @@
 #ifndef MAIMON_UTIL_ATTR_SET_H_
 #define MAIMON_UTIL_ATTR_SET_H_
 
+#include <cassert>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -27,6 +28,9 @@ class AttrSet {
     return AttrSet(n >= 64 ? ~uint64_t{0} : ((uint64_t{1} << n) - 1));
   }
   static constexpr AttrSet Single(int attr) {
+    // Out-of-range shifts are UB and produce a silently wrong mask in
+    // release builds; catch the bad index at the source in debug builds.
+    assert(attr >= 0 && attr < kMaxAttrs);
     return AttrSet(uint64_t{1} << attr);
   }
 
@@ -35,8 +39,14 @@ class AttrSet {
   constexpr bool Any() const { return bits_ != 0; }
   int Count() const { return __builtin_popcountll(bits_); }
 
-  void Add(int attr) { bits_ |= uint64_t{1} << attr; }
-  void Remove(int attr) { bits_ &= ~(uint64_t{1} << attr); }
+  void Add(int attr) {
+    assert(attr >= 0 && attr < kMaxAttrs);
+    bits_ |= uint64_t{1} << attr;
+  }
+  void Remove(int attr) {
+    assert(attr >= 0 && attr < kMaxAttrs);
+    bits_ &= ~(uint64_t{1} << attr);
+  }
   constexpr bool Contains(int attr) const {
     return (bits_ >> attr) & uint64_t{1};
   }
@@ -57,6 +67,7 @@ class AttrSet {
     return AttrSet(bits_ & ~other.bits_);
   }
   constexpr AttrSet Plus(int attr) const {
+    assert(attr >= 0 && attr < kMaxAttrs);
     return AttrSet(bits_ | (uint64_t{1} << attr));
   }
   constexpr AttrSet Without(int attr) const {
