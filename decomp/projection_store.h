@@ -64,6 +64,9 @@ class ProjectionStore {
   size_t TotalRows() const;
   size_t TotalCells() const;
   size_t TotalBytes() const;
+  /// Cell count of the original relation this store decomposes (0 when
+  /// unknown, e.g. adopted foreign projections without an anchor).
+  size_t original_cells() const { return original_cells_; }
 
   /// 100 * (1 - cells(projections) / cells(original)); the same arithmetic
   /// as SchemaReport::savings_pct, fed from the materialized store.

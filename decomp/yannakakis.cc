@@ -35,6 +35,7 @@ YannakakisExecutor::YannakakisExecutor(const ProjectionStore& store) {
   for (size_t v = 0; v < projections.size(); ++v) {
     nodes_[v].attrs = projections[v].attrs;
     nodes_[v].columns = projections[v].columns;
+    nodes_[v].domains = projections[v].domains;
     nodes_[v].tuples = projections[v].rows;
     universe = universe.Union(projections[v].attrs);
     const int parent = tree_.parent[v];
@@ -73,10 +74,14 @@ Status YannakakisExecutor::Reduce(const Deadline* deadline, int num_threads,
   if (reduced_) return Status::Ok();
   obs::Span span(sink, "yk.reduce");
   const uint64_t dropped_before = semijoin_dropped_;
+  const uint64_t passes_before = semijoin_passes_;
   const Status status = ReduceImpl(deadline, num_threads, sink);
   const uint64_t dropped = semijoin_dropped_ - dropped_before;
+  const uint64_t passes = semijoin_passes_ - passes_before;
   span.Arg("dropped", dropped);
+  span.Arg("passes", passes);
   obs::Count(sink, "yk.semijoin_dropped", dropped);
+  obs::Count(sink, "yk.semijoin_passes", passes);
   return status;
 }
 
@@ -86,13 +91,26 @@ Status YannakakisExecutor::ReduceImpl(const Deadline* deadline,
   // keep only tuples whose separator projection appears in `other`. Order-
   // preserving, so the reduced tuple lists are scheduling-independent.
   // `dropped` is the caller's counter slot (per-node under parallelism).
+  // The deadline is polled every 1024 tuples — a single huge node must not
+  // overrun a per-query budget by a whole level. Returns true on expiry;
+  // the unexamined tail is kept unfiltered, so the node stays a valid
+  // (merely under-reduced) projection.
   const auto semijoin = [&](size_t v, const std::vector<int>& positions,
                             const std::unordered_set<std::string>& other,
-                            uint64_t* dropped) {
+                            uint64_t* dropped) -> bool {
     Node& node = nodes_[v];
     std::vector<std::vector<uint32_t>> kept;
     kept.reserve(node.tuples.size());
-    for (auto& tuple : node.tuples) {
+    uint64_t polls = 0;
+    for (size_t t = 0; t < node.tuples.size(); ++t) {
+      if ((++polls & 1023) == 0 && DeadlineExpired(deadline)) {
+        for (size_t u = t; u < node.tuples.size(); ++u) {
+          kept.push_back(std::move(node.tuples[u]));
+        }
+        node.tuples = std::move(kept);
+        return true;
+      }
+      auto& tuple = node.tuples[t];
       if (other.count(PackTupleKey(tuple, positions)) > 0) {
         kept.push_back(std::move(tuple));
       } else {
@@ -100,14 +118,20 @@ Status YannakakisExecutor::ReduceImpl(const Deadline* deadline,
       }
     }
     node.tuples = std::move(kept);
+    return false;
   };
-  const auto sep_keys = [&](size_t v, const std::vector<int>& positions) {
-    std::unordered_set<std::string> keys;
-    keys.reserve(nodes_[v].tuples.size());
+  // Builds the separator key set of `v` into `*keys`. Returns false on
+  // mid-build expiry — the partial set must never be semijoined against
+  // (it would drop tuples that do have partners).
+  const auto sep_keys = [&](size_t v, const std::vector<int>& positions,
+                            std::unordered_set<std::string>* keys) -> bool {
+    keys->reserve(nodes_[v].tuples.size());
+    uint64_t polls = 0;
     for (const auto& tuple : nodes_[v].tuples) {
-      keys.insert(PackTupleKey(tuple, positions));
+      if ((++polls & 1023) == 0 && DeadlineExpired(deadline)) return false;
+      keys->insert(PackTupleKey(tuple, positions));
     }
-    return keys;
+    return true;
   };
 
   // Depth levels (parent precedes child in preorder, so one sweep fills
@@ -141,6 +165,7 @@ Status YannakakisExecutor::ReduceImpl(const Deadline* deadline,
     }
     ThreadPool pool(threads, sink);
     std::vector<uint64_t> dropped(nodes_.size(), 0);
+    std::vector<uint64_t> passes(nodes_.size(), 0);
     std::atomic<bool> expired{false};
 
     // Leaf-to-root, one level at a time (barrier between levels): the task
@@ -160,14 +185,24 @@ Status YannakakisExecutor::ReduceImpl(const Deadline* deadline,
               }
               const size_t cv = static_cast<size_t>(c);
               const AttrSet sep = nodes_[v].attrs.Intersect(nodes_[cv].attrs);
-              semijoin(v, SharedPositions(nodes_[v].columns, sep),
-                       sep_keys(cv, nodes_[cv].sep_positions), &dropped[v]);
+              std::unordered_set<std::string> keys;
+              if (!sep_keys(cv, nodes_[cv].sep_positions, &keys)) {
+                expired.store(true, std::memory_order_relaxed);
+                return;
+              }
+              ++passes[v];
+              if (semijoin(v, SharedPositions(nodes_[v].columns, sep), keys,
+                           &dropped[v])) {
+                expired.store(true, std::memory_order_relaxed);
+                return;
+              }
             }
           });
       if (!run.completed) expired.store(true, std::memory_order_relaxed);
     }
     if (expired.load()) {
       for (uint64_t d : dropped) semijoin_dropped_ += d;
+      for (uint64_t p : passes) semijoin_passes_ += p;
       return Status::DeadlineExceeded("semijoin reducer (leaf-to-root)");
     }
 
@@ -187,14 +222,24 @@ Status YannakakisExecutor::ReduceImpl(const Deadline* deadline,
               }
               const size_t cv = static_cast<size_t>(c);
               const AttrSet sep = nodes_[v].attrs.Intersect(nodes_[cv].attrs);
-              semijoin(cv, nodes_[cv].sep_positions,
-                       sep_keys(v, SharedPositions(nodes_[v].columns, sep)),
-                       &dropped[cv]);
+              std::unordered_set<std::string> keys;
+              if (!sep_keys(v, SharedPositions(nodes_[v].columns, sep),
+                            &keys)) {
+                expired.store(true, std::memory_order_relaxed);
+                return;
+              }
+              ++passes[cv];
+              if (semijoin(cv, nodes_[cv].sep_positions, keys,
+                           &dropped[cv])) {
+                expired.store(true, std::memory_order_relaxed);
+                return;
+              }
             }
           });
       if (!run.completed) expired.store(true, std::memory_order_relaxed);
     }
     for (uint64_t d : dropped) semijoin_dropped_ += d;
+    for (uint64_t p : passes) semijoin_passes_ += p;
     if (expired.load()) {
       return Status::DeadlineExceeded("semijoin reducer (root-to-leaf)");
     }
@@ -217,8 +262,15 @@ Status YannakakisExecutor::ReduceImpl(const Deadline* deadline,
       }
       const size_t cv = static_cast<size_t>(c);
       const AttrSet sep = nodes_[v].attrs.Intersect(nodes_[cv].attrs);
-      semijoin(v, SharedPositions(nodes_[v].columns, sep),
-               sep_keys(cv, nodes_[cv].sep_positions), &semijoin_dropped_);
+      std::unordered_set<std::string> keys;
+      if (!sep_keys(cv, nodes_[cv].sep_positions, &keys)) {
+        return Status::DeadlineExceeded("semijoin reducer (leaf-to-root)");
+      }
+      ++semijoin_passes_;
+      if (semijoin(v, SharedPositions(nodes_[v].columns, sep), keys,
+                   &semijoin_dropped_)) {
+        return Status::DeadlineExceeded("semijoin reducer (leaf-to-root)");
+      }
     }
   }
   // Root-to-leaf: each child is filtered against its (now fully reduced)
@@ -231,9 +283,15 @@ Status YannakakisExecutor::ReduceImpl(const Deadline* deadline,
       }
       const size_t cv = static_cast<size_t>(c);
       const AttrSet sep = nodes_[v].attrs.Intersect(nodes_[cv].attrs);
-      semijoin(cv, nodes_[cv].sep_positions,
-               sep_keys(v, SharedPositions(nodes_[v].columns, sep)),
-               &semijoin_dropped_);
+      std::unordered_set<std::string> keys;
+      if (!sep_keys(v, SharedPositions(nodes_[v].columns, sep), &keys)) {
+        return Status::DeadlineExceeded("semijoin reducer (root-to-leaf)");
+      }
+      ++semijoin_passes_;
+      if (semijoin(cv, nodes_[cv].sep_positions, keys,
+                   &semijoin_dropped_)) {
+        return Status::DeadlineExceeded("semijoin reducer (root-to-leaf)");
+      }
     }
   }
   for (Node& node : nodes_) RebuildKeys(&node);
@@ -277,6 +335,7 @@ bool YannakakisExecutor::Extend(size_t depth, std::vector<uint32_t>* out,
                                 uint64_t* poll_counter) {
   if (depth == tree_.preorder.size()) {
     ++result->rows;
+    if (options.on_row) options.on_row(*out);
     if (options.materialize) result->tuples.push_back(*out);
     // Poll every 1024 rows: cheap enough to vanish in the join cost, tight
     // enough that a blown budget stops within microseconds.
@@ -317,6 +376,17 @@ bool YannakakisExecutor::Extend(size_t depth, std::vector<uint32_t>* out,
     if (!emit_tuple(node.tuples[t])) return false;
   }
   return true;
+}
+
+std::vector<StoredProjection> YannakakisExecutor::ReducedProjections() const {
+  std::vector<StoredProjection> out(nodes_.size());
+  for (size_t v = 0; v < nodes_.size(); ++v) {
+    out[v].attrs = nodes_[v].attrs;
+    out[v].columns = nodes_[v].columns;
+    out[v].domains = nodes_[v].domains;
+    out[v].rows = nodes_[v].tuples;
+  }
+  return out;
 }
 
 bool YannakakisExecutor::ContainsRow(const Relation& relation,

@@ -23,6 +23,7 @@
 #define MAIMON_DECOMP_YANNAKAKIS_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -41,8 +42,9 @@ struct YannakakisOptions {
   /// audit only needs the streamed count plus membership probes, so wide
   /// reconstructions stay O(1) in result size.
   bool materialize = false;
-  /// Polled between semijoin passes and every few enumerated rows; expiry
-  /// returns the partial count with kDeadlineExceeded. Nullable.
+  /// Polled inside the reducer's per-tuple loops (every 1024 tuples) and
+  /// every 1024 enumerated join rows; expiry returns the partial count with
+  /// kDeadlineExceeded. Nullable.
   const Deadline* deadline = nullptr;
   /// Worker threads for the semijoin reducer: 1 = sequential, 0 = all
   /// hardware threads, N = exactly N. Reduction output is byte-identical
@@ -50,8 +52,15 @@ struct YannakakisOptions {
   /// single-threaded — it streams one row at a time by design.
   int num_threads = 1;
   /// Observability sink (nullable): `yk.reduce` / `yk.join` spans plus the
-  /// `yk.semijoin_dropped` and `yk.join_rows` counters.
+  /// `yk.semijoin_dropped`, `yk.semijoin_passes` and `yk.join_rows`
+  /// counters.
   obs::Sink* sink = nullptr;
+  /// Streamed per joined row, in `JoinResult::columns` order, before the
+  /// materialize check — serve/'s projection hook: callers project and
+  /// deduplicate one row at a time instead of retaining the wide join.
+  /// The referenced vector is the enumerator's scratch row; copy what you
+  /// keep. Nullable.
+  std::function<void(const std::vector<uint32_t>&)> on_row;
 };
 
 struct JoinResult {
@@ -93,6 +102,19 @@ class YannakakisExecutor {
   /// projection rows that join with no row of some neighbor).
   uint64_t semijoin_dropped() const { return semijoin_dropped_; }
 
+  /// Per-edge semijoin applications performed so far: a complete reduction
+  /// runs exactly 2 * (nodes - 1). serve/ gates its pruned plans on this —
+  /// a covering-subtree plan must apply strictly fewer passes than the
+  /// full-plan reduction of the same store.
+  uint64_t semijoin_passes() const { return semijoin_passes_; }
+
+  /// Snapshot of the current per-node tuple lists as StoredProjections
+  /// (attrs/columns/domains preserved from construction). After a complete
+  /// Reduce() this is the globally consistent store serve/ snapshots: the
+  /// join of any connected subtree of it equals the projection of the full
+  /// join onto that subtree's attributes.
+  std::vector<StoredProjection> ReducedProjections() const;
+
   /// True iff row `r` of `relation` (restricted to the schema universe) is
   /// in the join: every projection of the row is present in the (reduced)
   /// store. `relation` must be the one the store was built from.
@@ -105,6 +127,7 @@ class YannakakisExecutor {
   struct Node {
     AttrSet attrs;
     std::vector<int> columns;            // original column indices
+    std::vector<uint32_t> domains;       // per-column domain sizes
     std::vector<std::vector<uint32_t>> tuples;
     std::vector<int> sep_positions;      // parent-separator positions
     // Membership keys of the current tuple list (full-width), rebuilt by
@@ -127,6 +150,7 @@ class YannakakisExecutor {
   std::vector<int> out_columns_;               // universe, ascending
   std::vector<std::vector<size_t>> out_positions_;  // node col -> out slot
   uint64_t semijoin_dropped_ = 0;
+  uint64_t semijoin_passes_ = 0;
   bool reduced_ = false;
 };
 

@@ -59,4 +59,59 @@ JoinTree BuildMaxOverlapJoinTree(const std::vector<AttrSet>& rels) {
   return tree;
 }
 
+std::vector<int> MinimalCoveringSubtree(const JoinTree& tree,
+                                        const std::vector<AttrSet>& rels,
+                                        AttrSet touched) {
+  const size_t n = rels.size();
+  std::vector<char> in(n, 1);
+  // Degree within the surviving node set; leaves have degree <= 1.
+  std::vector<int> degree(n, 0);
+  for (size_t v = 0; v < n; ++v) {
+    if (tree.parent[v] >= 0) {
+      ++degree[v];
+      ++degree[static_cast<size_t>(tree.parent[v])];
+    }
+  }
+  // How many surviving nodes mention each touched attribute. A leaf is
+  // removable iff every touched attribute it carries has count >= 2.
+  std::vector<int> cover_count(AttrSet::kMaxAttrs, 0);
+  for (size_t v = 0; v < n; ++v) {
+    for (int a : rels[v].Intersect(touched).ToVector()) ++cover_count[a];
+  }
+  size_t remaining = n;
+  bool changed = true;
+  while (changed && remaining > 1) {
+    changed = false;
+    for (int v = static_cast<int>(n) - 1; v >= 0 && remaining > 1; --v) {
+      const size_t sv = static_cast<size_t>(v);
+      if (!in[sv] || degree[sv] > 1) continue;
+      const std::vector<int> carried = rels[sv].Intersect(touched).ToVector();
+      bool removable = true;
+      for (int a : carried) {
+        if (cover_count[a] <= 1) {
+          removable = false;
+          break;
+        }
+      }
+      if (!removable) continue;
+      in[sv] = 0;
+      --remaining;
+      changed = true;
+      for (int a : carried) --cover_count[a];
+      const int p = tree.parent[sv];
+      if (p >= 0 && in[static_cast<size_t>(p)]) --degree[static_cast<size_t>(p)];
+      for (int c : tree.children[sv]) {
+        if (in[static_cast<size_t>(c)]) --degree[static_cast<size_t>(c)];
+      }
+      degree[sv] = 0;
+    }
+  }
+  std::vector<int> out;
+  out.reserve(remaining);
+  for (size_t v = 0; v < n; ++v) {
+    if (in[v]) out.push_back(static_cast<int>(v));
+  }
+  return out;
+}
+
 }  // namespace maimon

@@ -37,6 +37,20 @@ struct JoinTree {
 /// every caller sees the identical tree for the same relation list.
 JoinTree BuildMaxOverlapJoinTree(const std::vector<AttrSet>& rels);
 
+/// Smallest connected subtree of `tree` whose nodes jointly cover every
+/// attribute in `touched` (the Steiner subtree of the nodes that mention
+/// them). Because a valid join tree has the running intersection property,
+/// each attribute's occurrence set is itself connected, so greedy leaf
+/// pruning to a fixpoint — repeatedly dropping any leaf whose touched
+/// attributes all survive elsewhere — reaches the unique-up-to-ties
+/// inclusion-minimal cover without search. Deterministic: candidate leaves
+/// are scanned highest-index-first each round. Returns ascending node
+/// indices; `touched` attributes absent from every relation are ignored
+/// (callers validate against their universe first).
+std::vector<int> MinimalCoveringSubtree(const JoinTree& tree,
+                                        const std::vector<AttrSet>& rels,
+                                        AttrSet touched);
+
 /// Byte-packed key of the `positions`-projection of `tuple` — the hash key
 /// both join implementations use for separator matching.
 inline std::string PackTupleKey(const std::vector<uint32_t>& tuple,

@@ -12,8 +12,9 @@
 #            run the concurrency suites (parallel_test: pool, forked
 #            engines, full parallel pipeline; pli_cache_test: the shared
 #            concurrent cache's mixed-traffic stress; obs_test: concurrent
-#            span/metric emission into one sink) under it. The default
-#            lane is unchanged.
+#            span/metric emission into one sink; serve_test: 8 query
+#            threads racing a snapshot Swap) under it. The default lane is
+#            unchanged.
 #   --asan   additionally build <repo>/build-asan with AddressSanitizer +
 #            UBSan and run the full unit suite under it (same -LE slow
 #            selection as the default lane).
@@ -57,9 +58,9 @@ if [[ "${tsan}" -eq 1 ]]; then
   cmake -B "${tsan_dir}" -S "${repo_root}" -DMAIMON_TSAN=ON \
         -DMAIMON_WITH_GBENCH=OFF
   cmake --build "${tsan_dir}" -j "${jobs}" --target parallel_test \
-        --target pli_cache_test --target obs_test
+        --target pli_cache_test --target obs_test --target serve_test
   ctest --test-dir "${tsan_dir}" --output-on-failure \
-        -R '^(parallel_test|pli_cache_test|obs_test)$'
+        -R '^(parallel_test|pli_cache_test|obs_test|serve_test)$'
 fi
 
 if [[ "${asan}" -eq 1 ]]; then
@@ -83,7 +84,7 @@ if command -v python3 >/dev/null 2>&1; then
   echo "--- BENCH snapshots parse (bench_trend.py --check-baselines) ---"
   python3 "${repo_root}/scripts/bench_trend.py" --check-baselines \
           "${repo_root}/BENCH_fig13.json" "${repo_root}/BENCH_fig14.json" \
-          "${repo_root}/BENCH_fig15.json"
+          "${repo_root}/BENCH_fig15.json" "${repo_root}/BENCH_serve.json"
 else
   echo "--- python3 absent: BENCH snapshot parse check skipped"
 fi

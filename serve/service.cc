@@ -1,0 +1,243 @@
+// Copyright (c) Maimon-cpp authors. Licensed under the MIT license.
+
+#include "serve/service.h"
+
+#include <string>
+#include <unordered_set>
+#include <utility>
+
+#include "decomp/yannakakis.h"
+#include "join/join_tree.h"
+
+namespace maimon {
+namespace serve {
+namespace {
+
+// Snapshot builds pay the full Yannakakis reduction once, off the query
+// path: afterwards every stored tuple participates in the full join, which
+// is the precondition for answering from a covering subtree alone. No
+// deadline — a partially reduced snapshot would silently break that
+// identity for every later query.
+ProjectionStore Canonicalize(const ProjectionStore& store,
+                             const ServiceOptions& options) {
+  YannakakisExecutor executor(store);
+  executor.Reduce(/*deadline=*/nullptr, options.reduce_threads, options.sink);
+  return ProjectionStore(executor.ReducedProjections(),
+                         store.original_cells());
+}
+
+// Positions of `attrs` inside the ascending column list `columns`.
+std::vector<size_t> SlotsOf(const std::vector<int>& columns, AttrSet attrs) {
+  std::vector<size_t> slots;
+  slots.reserve(static_cast<size_t>(attrs.Count()));
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (attrs.Contains(columns[i])) slots.push_back(i);
+  }
+  return slots;
+}
+
+}  // namespace
+
+Snapshot::Snapshot(ProjectionStore store, const ServiceOptions& options)
+    : store_(Canonicalize(store, options)), planner_(&store_) {
+  point_index_.resize(store_.NumProjections());
+  for (size_t v = 0; v < store_.NumProjections(); ++v) {
+    const size_t cols = store_.projections()[v].columns.size();
+    point_index_[v].reserve(cols);
+    for (size_t i = 0; i < cols; ++i) {
+      point_index_[v].push_back(std::make_unique<LazyIndex>());
+    }
+  }
+}
+
+QueryService::QueryService(ProjectionStore store, ServiceOptions options)
+    : options_(options),
+      snapshot_(std::make_shared<const Snapshot>(std::move(store), options_)) {
+}
+
+QueryResult QueryService::Execute(const Query& query) const {
+  const std::shared_ptr<const Snapshot> snap = std::atomic_load(&snapshot_);
+  return ExecuteOnSnapshot(*snap, query);
+}
+
+void QueryService::Swap(ProjectionStore store) {
+  std::shared_ptr<const Snapshot> next =
+      std::make_shared<const Snapshot>(std::move(store), options_);
+  std::atomic_store(&snapshot_, std::move(next));
+  generation_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::shared_ptr<const Snapshot> QueryService::snapshot() const {
+  return std::atomic_load(&snapshot_);
+}
+
+QueryResult QueryService::ExecuteOnSnapshot(const Snapshot& snap,
+                                            const Query& query) const {
+  obs::Sink* sink = options_.sink;
+  obs::Span span(sink, "serve.query");
+  QueryResult result;
+  const QueryPlan plan = snap.planner().Plan(query);
+  result.status = plan.status;
+  if (!plan.status.ok()) {
+    obs::Count(sink, "serve.rejected", 1);
+    return result;
+  }
+  result.columns = plan.output.ToVector();
+  result.plan_nodes = plan.nodes.size();
+  result.point_lookup = plan.point_lookup;
+
+  const double budget = query.budget_seconds > 0
+                            ? query.budget_seconds
+                            : options_.default_budget_seconds;
+  const Deadline deadline =
+      budget > 0 ? Deadline::After(budget) : Deadline::Infinite();
+  const Deadline* dl = budget > 0 ? &deadline : nullptr;
+
+  obs::Count(sink, "serve.queries", 1);
+  obs::Observe(sink, "serve.plan_nodes", plan.nodes.size());
+  obs::Count(sink, "serve.pruned_nodes",
+             snap.store().NumProjections() - plan.nodes.size());
+
+  if (plan.point_lookup) {
+    obs::Count(sink, "serve.point_lookups", 1);
+    PointLookup(snap, plan, query, &result);
+  } else {
+    RunSubtree(snap, plan, query, dl, &result);
+  }
+
+  span.Arg("attrs", query.attrs.ToString());
+  span.Arg("nodes", static_cast<int>(plan.nodes.size()));
+  span.Arg("rows", result.rows);
+  obs::Count(sink, "serve.rows", result.rows);
+  if (result.status.IsDeadlineExceeded()) {
+    obs::Count(sink, "serve.deadline_exceeded", 1);
+  }
+  return result;
+}
+
+void QueryService::PointLookup(const Snapshot& snap, const QueryPlan& plan,
+                               const Query& query,
+                               QueryResult* result) const {
+  const PlanNode& pnode = plan.nodes[0];
+  const StoredProjection& proj =
+      snap.store().projections()[static_cast<size_t>(pnode.store_index)];
+  const Selection& sel = query.selections[0];
+  size_t col = 0;
+  while (proj.columns[col] != sel.attr) ++col;
+
+  Snapshot::LazyIndex& index =
+      *snap.point_index_[static_cast<size_t>(pnode.store_index)][col];
+  std::call_once(index.once, [&] {
+    index.rows_by_value.reserve(proj.domains[col]);
+    for (size_t r = 0; r < proj.rows.size(); ++r) {
+      index.rows_by_value[proj.rows[r][col]].push_back(
+          static_cast<uint32_t>(r));
+    }
+  });
+
+  const auto it = index.rows_by_value.find(sel.lo);
+  if (it == index.rows_by_value.end()) return;  // zero matches, status Ok
+  const std::vector<size_t> slots = SlotsOf(proj.columns, plan.output);
+  std::unordered_set<std::string> seen;
+  std::vector<uint32_t> out(slots.size());
+  for (uint32_t r : it->second) {
+    const std::vector<uint32_t>& row = proj.rows[r];
+    for (size_t i = 0; i < slots.size(); ++i) out[i] = row[slots[i]];
+    if (plan.needs_dedup && !seen.insert(PackFullTupleKey(out)).second) {
+      continue;
+    }
+    ++result->rows;
+    if (!query.count_only) result->tuples.push_back(out);
+  }
+}
+
+void QueryService::RunSubtree(const Snapshot& snap, const QueryPlan& plan,
+                              const Query& query, const Deadline* deadline,
+                              QueryResult* result) const {
+  const std::vector<StoredProjection>& projections =
+      snap.store().projections();
+
+  // Materialize the covering projections with every pushed-down predicate
+  // already applied — the executor then only ever semijoins the filtered
+  // row sets. Filtering can leave tuples dangling across nodes; the
+  // executor's own reduction restores consistency within the subtree.
+  std::vector<StoredProjection> sub;
+  sub.reserve(plan.nodes.size());
+  uint64_t polls = 0;
+  for (const PlanNode& pnode : plan.nodes) {
+    const StoredProjection& src =
+        projections[static_cast<size_t>(pnode.store_index)];
+    StoredProjection sp;
+    sp.attrs = src.attrs;
+    sp.columns = src.columns;
+    sp.domains = src.domains;
+    if (pnode.selections.empty()) {
+      sp.rows = src.rows;
+    } else {
+      std::vector<std::pair<size_t, Selection>> preds;
+      preds.reserve(pnode.selections.size());
+      for (const Selection& sel : pnode.selections) {
+        size_t col = 0;
+        while (src.columns[col] != sel.attr) ++col;
+        preds.emplace_back(col, sel);
+      }
+      sp.rows.reserve(src.rows.size());
+      for (const std::vector<uint32_t>& row : src.rows) {
+        if ((++polls & 1023) == 0 && DeadlineExpired(deadline)) {
+          result->status = Status::DeadlineExceeded("serve pushdown filter");
+          return;
+        }
+        bool keep = true;
+        for (const std::pair<size_t, Selection>& pred : preds) {
+          if (!pred.second.Matches(row[pred.first])) {
+            keep = false;
+            break;
+          }
+        }
+        if (keep) sp.rows.push_back(row);
+      }
+    }
+    sub.push_back(std::move(sp));
+  }
+
+  // A connected subtree of a join tree is itself an acyclic schema, so the
+  // executor's max-overlap tree over it is a valid join tree and the
+  // standard reduce + enumerate machinery applies unchanged.
+  ProjectionStore substore(std::move(sub), /*original_cells=*/0);
+  YannakakisExecutor executor(substore);
+  YannakakisOptions yopts;
+  yopts.deadline = deadline;
+  yopts.num_threads = 1;
+  yopts.sink = options_.sink;
+
+  if (!plan.needs_dedup) {
+    // Output equals the covered attributes: the subtree join of
+    // distinct-row projections is already distinct, and the executor's
+    // ascending column order is exactly result->columns.
+    yopts.materialize = !query.count_only;
+    JoinResult joined = executor.Execute(yopts);
+    result->status = joined.status;
+    result->rows = joined.rows;
+    result->tuples = std::move(joined.tuples);
+  } else {
+    // Project each streamed row onto the output slots and deduplicate —
+    // the wide subtree join is never retained.
+    const std::vector<int> covered_cols = plan.covered.ToVector();
+    const std::vector<size_t> slots = SlotsOf(covered_cols, plan.output);
+    std::unordered_set<std::string> seen;
+    std::vector<uint32_t> out(slots.size());
+    yopts.materialize = false;
+    yopts.on_row = [&](const std::vector<uint32_t>& row) {
+      for (size_t i = 0; i < slots.size(); ++i) out[i] = row[slots[i]];
+      if (!seen.insert(PackFullTupleKey(out)).second) return;
+      if (!query.count_only) result->tuples.push_back(out);
+    };
+    JoinResult joined = executor.Execute(yopts);
+    result->status = joined.status;
+    result->rows = seen.size();
+  }
+  result->semijoin_passes = executor.semijoin_passes();
+}
+
+}  // namespace serve
+}  // namespace maimon

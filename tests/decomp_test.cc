@@ -197,12 +197,60 @@ TEST_CASE(SemijoinReducerDropsDanglingImportedTuples) {
   const ProjectionStore store({ab, bc}, /*original_cells=*/0);
 
   YannakakisExecutor executor(store);
-  const JoinResult join = executor.Execute(YannakakisOptions{true, nullptr});
+  YannakakisOptions join_options;
+  join_options.materialize = true;
+  const JoinResult join = executor.Execute(join_options);
   CHECK(join.status.ok());
   CHECK_EQ(join.rows, uint64_t{1});
   CHECK_EQ(join.tuples.size(), size_t{1});
   CHECK_EQ(join.tuples[0], (std::vector<uint32_t>{0, 0, 2}));
   CHECK_EQ(executor.semijoin_dropped(), uint64_t{1});
+}
+
+TEST_CASE(ReducerPollsTheDeadlineInsideASingleSemijoinLevel) {
+  // Regression: the reducer used to poll only between per-edge semijoins,
+  // so ONE huge level could overrun a per-query deadline by the full cost
+  // of that semijoin. The per-tuple (every 1024) polls inside sep_keys and
+  // the filter loop must abort a blown budget mid-level.
+  const uint32_t n = 1 << 18;
+  StoredProjection ab, bc;
+  ab.attrs = AttrSet(0b011);
+  ab.columns = {0, 1};
+  ab.domains = {n, n};
+  bc.attrs = AttrSet(0b110);
+  bc.columns = {1, 2};
+  bc.domains = {n, n};
+  ab.rows.reserve(n);
+  bc.rows.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    ab.rows.push_back({i, i});
+    bc.rows.push_back({i, i});
+  }
+  const ProjectionStore store({std::move(ab), std::move(bc)},
+                              /*original_cells=*/0);
+
+  YannakakisExecutor full(store);
+  Stopwatch full_watch;
+  CHECK(full.Reduce(nullptr).ok());
+  const double t_full = full_watch.ElapsedSeconds();
+
+  // A budget of ~2% of the full reduction expires during the very first
+  // edge's key build; the abort must land well before the edge completes.
+  // The margin (t_full / 4 plus scheduler slack) is generous on purpose —
+  // pre-fix the elapsed time was ~t_full / 2 (the whole first semijoin).
+  YannakakisExecutor bounded(store);
+  const Deadline deadline = Deadline::After(t_full / 50);
+  Stopwatch bounded_watch;
+  const Status status = bounded.Reduce(&deadline);
+  const double t_bounded = bounded_watch.ElapsedSeconds();
+  CHECK(status.IsDeadlineExceeded());
+  CHECK(t_bounded < t_full / 4 + 0.02);
+
+  // The mid-level abort leaves every tuple list valid: a fresh unbounded
+  // Reduce (via Execute) still enumerates all n join rows.
+  const JoinResult join = bounded.Execute(YannakakisOptions());
+  CHECK(join.status.ok());
+  CHECK_EQ(join.rows, static_cast<uint64_t>(n));
 }
 
 TEST_CASE(DeadlineExpiryMidJoinReturnsPartialAudit) {
