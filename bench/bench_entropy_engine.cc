@@ -134,7 +134,7 @@ void BM_PartitionIntersect(benchmark::State& state) {
   }
   StrippedPartition p1 = StrippedPartition::FromColumn(c1, 64);
   StrippedPartition p2 = StrippedPartition::FromColumn(c2, 64);
-  std::vector<int32_t> scratch(rows, -1);
+  IntersectScratch scratch;
   for (auto _ : state) {
     StrippedPartition p = p1.Intersect(p2, &scratch);
     benchmark::DoNotOptimize(p.NumGroups());
@@ -143,10 +143,9 @@ void BM_PartitionIntersect(benchmark::State& state) {
 }
 BENCHMARK(BM_PartitionIntersect)->Arg(4096)->Arg(65536)->Arg(1 << 20);
 
-// The fused kernel on the same inputs: epoch-stamped scratch (no restore
-// pass), reused output buffer (no per-call allocation), and the product's
-// entropy accumulated inline — the fold-chain shape the engine runs warm.
-// Compare against BM_PartitionIntersect + an Entropy() re-scan.
+// The same kernel in the engine's warm fold-chain shape: reused output
+// buffer (no per-call allocation) and the product's entropy accumulated
+// inline. Compare against BM_PartitionIntersect + an Entropy() re-scan.
 void BM_PartitionIntersectFused(benchmark::State& state) {
   const int rows = static_cast<int>(state.range(0));
   Rng rng(5);

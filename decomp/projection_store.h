@@ -47,14 +47,19 @@ class ProjectionStore {
   /// Materializes one distinct projection per relation of `schema`.
   ProjectionStore(const Relation& relation, const Schema& schema);
 
-  /// Adopts pre-built projections (e.g. imported via data/relation_io.h).
-  /// Unlike the relation constructor, these need not be globally
-  /// consistent — the Yannakakis reducer then actually drops dangling
-  /// tuples. `original_cells` anchors SavingsPct (0 disables it).
+  /// Adopts pre-built projections (e.g. imported via data/relation_io.h or
+  /// mapped from a store/ file). Unlike the relation constructor, these
+  /// need not be globally consistent — the Yannakakis reducer then
+  /// actually drops dangling tuples. `original_cells` anchors SavingsPct
+  /// (0 disables it). Pass `canonical` = true only for projections that
+  /// are ALREADY fully Yannakakis-reduced (e.g. re-adopted from
+  /// YannakakisExecutor::ReducedProjections, or loaded from a store file
+  /// written as canonical): serve/ then skips the snapshot re-reduction.
   ProjectionStore(std::vector<StoredProjection> projections,
-                  size_t original_cells)
+                  size_t original_cells, bool canonical = false)
       : projections_(std::move(projections)),
-        original_cells_(original_cells) {}
+        original_cells_(original_cells),
+        canonical_(canonical) {}
 
   const std::vector<StoredProjection>& projections() const {
     return projections_;
@@ -72,9 +77,15 @@ class ProjectionStore {
   /// as SchemaReport::savings_pct, fed from the materialized store.
   double SavingsPct() const;
 
+  /// True when the projections are known to be globally consistent (fully
+  /// semijoin-reduced). Reduction is idempotent, so treating a canonical
+  /// store as non-canonical is only a cost bug, never a correctness one.
+  bool canonical() const { return canonical_; }
+
  private:
   std::vector<StoredProjection> projections_;
   size_t original_cells_ = 0;
+  bool canonical_ = false;
 };
 
 }  // namespace maimon

@@ -124,8 +124,8 @@ class PliCache {
   bool Contains(AttrSet key) const;
 
   /// Like Get, but without hit/miss accounting: for internal probes (e.g.
-  /// the engine re-fetching a subset it just located via ForEachKey) that
-  /// would otherwise inflate the hit rate. Still promotes to MRU.
+  /// BestSubset promoting its winner) that would otherwise inflate the hit
+  /// rate. Still promotes to MRU.
   PartitionRef Touch(AttrSet key);
 
   /// Widest resident partition whose key is a subset of `query` — the
@@ -163,10 +163,9 @@ class PliCache {
 
   /// Visits every key with a resident partition (no LRU promotion, no hit
   /// accounting). Holds one stripe lock at a time while visiting, so `fn`
-  /// must not call back into the cache. A template so the per-call
-  /// std::function allocation is gone — the legacy full-scan subset probe
-  /// drove this on every cache miss; only tests and the
-  /// fused_kernels=false oracle walk it now.
+  /// must not call back into the cache. Test/introspection surface only —
+  /// the engine's subset probe goes through the width index (BestSubset),
+  /// never a full scan.
   template <typename Fn>
   void ForEachKey(Fn&& fn) const {
     for (const Stripe& s : stripes_) {

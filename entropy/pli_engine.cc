@@ -35,15 +35,6 @@ PliEntropyEngine::PliEntropyEngine(std::shared_ptr<const PliSharedCore> core,
                                    std::shared_ptr<PliCache> cache)
     : core_(std::move(core)), cache_(std::move(cache)) {}
 
-std::vector<int32_t>* PliEntropyEngine::LegacyScratch() {
-  // resize() fills only the NEW slots with -1; the existing prefix keeps
-  // the all -1 invariant the legacy kernel restores after every call.
-  if (scratch_.size() < core_->relation().NumRows()) {
-    scratch_.resize(core_->relation().NumRows(), -1);
-  }
-  return &scratch_;
-}
-
 std::vector<std::unique_ptr<PliEntropyEngine>> PliEntropyEngine::ForkShards(
     int num_shards) const {
   if (num_shards < 1) num_shards = 1;
@@ -65,18 +56,6 @@ void PliEntropyEngine::MergeStats(const PliEntropyEngine& worker) {
   // AccumulateCounters skips cache.bytes: a resident gauge of the shared
   // cache, not a counter — stats() reads it off the cache directly.
   merged_.AccumulateCounters(worker.stats());
-}
-
-AttrSet PliEntropyEngine::BestCachedSubset(AttrSet attrs) const {
-  AttrSet best;
-  int best_count = 0;
-  cache_->ForEachKey([&](AttrSet key) {
-    if (attrs.ContainsAll(key) && key.Count() > best_count) {
-      best = key;
-      best_count = key.Count();
-    }
-  });
-  return best;
 }
 
 double PliEntropyEngine::Entropy(AttrSet attrs) {
@@ -110,30 +89,18 @@ double PliEntropyEngine::Entropy(AttrSet attrs) {
     return h;
   }
 
-  // Stage 1: best cached starting point. `cur` aliases either a pinned
-  // cache resident (`held` keeps it alive under concurrent eviction) or a
-  // base PLI; it is only read until the first Intersect. The fused path
-  // asks the cache's width index (the winner comes back already pinned);
-  // the legacy path replays the full-scan probe it is the oracle for.
-  const bool fused = options.fused_kernels;
+  // Stage 1: best cached starting point via the cache's width index. `cur`
+  // aliases either a pinned cache resident (`held` keeps it alive under
+  // concurrent eviction) or a base PLI; it is only read until the first
+  // Intersect.
   AttrSet have;
   PliCache::PartitionRef held;
   const StrippedPartition* cur = nullptr;
-  if (fused) {
-    ++subset_probes_;
-    held = cache_->BestSubset(attrs, &have, &subset_probe_candidates_);
-    if (held != nullptr) cur = held.get();
-  } else {
-    have = BestCachedSubset(attrs);
-    if (have.Any()) {
-      held = cache_->Touch(have);  // internal probe: promotes, no accounting
-      if (held != nullptr) cur = held.get();
-    }
-  }
+  ++subset_probes_;
+  held = cache_->BestSubset(attrs, &have, &subset_probe_candidates_);
+  if (held != nullptr) cur = held.get();
   if (cur == nullptr) {
-    // Nothing cached applies (or, on the legacy path, a concurrent
-    // eviction won the race between ForEachKey and Touch): start from a
-    // base single-column PLI.
+    // Nothing cached applies: start from a base single-column PLI.
     const int first = attrs.First();
     have = AttrSet::Single(first);
     cur = &core_->Single(first);
@@ -152,30 +119,24 @@ double PliEntropyEngine::Entropy(AttrSet attrs) {
   // out without a const_cast.
   double h = 0.0;
   bool h_from_fusion = false;
-  StrippedPartition owned;           // legacy-path product storage
   StrippedPartition* local = nullptr;
   const std::vector<int> missing = attrs.Minus(have).ToVector();
   for (size_t i = 0; i < missing.size(); ++i) {
     const int c = missing[i];
-    if (fused) {
-      // Ping-pong between the two fold buffers: the chain's k products
-      // reuse two allocations (clear() keeps capacity), and a buffer
-      // donated to the cache by the staging Put below simply re-grows on
-      // its next turn.
-      StrippedPartition* out =
-          (cur == &fold_bufs_[0]) ? &fold_bufs_[1] : &fold_bufs_[0];
-      const bool last = i + 1 == missing.size();
-      cur->IntersectInto(core_->Single(c), &epoch_scratch_, out,
-                         last ? &h : nullptr);
-      if (last) {
-        h_from_fusion = true;
-        ++fused_entropies_;
-      }
-      local = out;
-    } else {
-      owned = cur->Intersect(core_->Single(c), LegacyScratch());
-      local = &owned;
+    // Ping-pong between the two fold buffers: the chain's k products
+    // reuse two allocations (clear() keeps capacity), and a buffer
+    // donated to the cache by the staging Put below simply re-grows on
+    // its next turn.
+    StrippedPartition* out =
+        (cur == &fold_bufs_[0]) ? &fold_bufs_[1] : &fold_bufs_[0];
+    const bool last = i + 1 == missing.size();
+    cur->IntersectInto(core_->Single(c), &epoch_scratch_, out,
+                       last ? &h : nullptr);
+    if (last) {
+      h_from_fusion = true;
+      ++fused_entropies_;
     }
+    local = out;
     ++intersections_;
     have.Add(c);
     cur = local;
@@ -192,9 +153,9 @@ double PliEntropyEngine::Entropy(AttrSet attrs) {
     }
   }
 
-  // The fused kernel already produced H on the last fold; every other way
-  // here (legacy kernel, or a BestSubset race that returned `attrs` itself)
-  // scans the final partition once.
+  // The fused kernel already produced H on the last fold; the only other
+  // way here (a BestSubset race that returned `attrs` itself) scans the
+  // final partition once.
   if (!h_from_fusion) h = cur->Entropy();
   // The full query partition is also worth staging when narrow enough:
   // MVDMiner re-queries supersets of it immediately.

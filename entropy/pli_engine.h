@@ -8,9 +8,10 @@
 //      or as value-only entries in a quota-capped memo segment), so it
 //      shares the byte budget instead of growing without bound. Single
 //      columns bypass it: their H is precomputed at construction;
-//   2. otherwise, start from the largest cached subset partition of X and
-//      fold in the missing attributes one single-column PLI at a time,
-//      reusing one scratch vector (no allocation on the warm path);
+//   2. otherwise, start from the largest cached subset partition of X
+//      (found via the cache's width index) and fold in the missing
+//      attributes one single-column PLI at a time over the epoch-stamped
+//      scratch (no allocation on the warm path);
 //   3. intermediate partitions with at most `block_size` attributes (the
 //      paper's L, default 10) are staged into a byte-budgeted LRU cache, so
 //      the prefix work is shared across the miner's query stream. Wider
@@ -67,14 +68,6 @@ struct PliEngineOptions {
   /// Lock stripes for the shared cache; <= 0 picks the default (16). One
   /// stripe gives exact global LRU order (useful in tests).
   int cache_stripes = 0;
-  /// Run the fused hot kernels: epoch-stamped intersect scratch (no
-  /// restore pass), one-pass intersect+entropy on the final fold (no
-  /// re-scan of the group structure), the width-indexed cache-subset
-  /// probe, and fold-buffer reuse across the intersection chain. Off
-  /// selects the legacy three-pass kernel + full-cache ForEachKey probe —
-  /// kept for one release as the differential oracle (bit-identical H by
-  /// contract; see tests/entropy_agreement_test.cc).
-  bool fused_kernels = true;
 };
 
 /// The immutable half of the engine: everything every worker reads and no
@@ -185,24 +178,14 @@ class PliEntropyEngine : public EntropyEngine {
   PliEntropyEngine(std::shared_ptr<const PliSharedCore> core,
                    std::shared_ptr<PliCache> cache);
 
-  /// Legacy probe (fused_kernels = false): full ForEachKey scan for the
-  /// largest cached subset of `attrs`. Returns the empty set when nothing
-  /// applies. The fused path asks the cache's width index instead
-  /// (PliCache::BestSubset).
-  AttrSet BestCachedSubset(AttrSet attrs) const;
-  /// Grows the legacy all -1 scratch to the relation width on first use
-  /// (the fused path never allocates it).
-  std::vector<int32_t>* LegacyScratch();
-
   std::shared_ptr<const PliSharedCore> core_;
   std::shared_ptr<PliCache> cache_;  // shared: partitions + the H(X) memo
   PliCache::Stats cache_stats_;   // this handle's slice of cache counters
-  IntersectScratch epoch_scratch_;   // fused kernel tag scratch
+  IntersectScratch epoch_scratch_;   // intersect kernel tag scratch
   /// Fold-chain output buffers, ping-ponged so a depth-k chain reuses two
   /// allocations instead of making k. A buffer whose partition is staged
   /// into the cache donates its storage (moved out) and re-grows later.
   StrippedPartition fold_bufs_[2];
-  std::vector<int32_t> scratch_;  // legacy kernel: all -1 between calls
   uint64_t num_queries_ = 0;
   uint64_t value_hits_ = 0;
   uint64_t intersections_ = 0;

@@ -227,75 +227,6 @@ void StrippedPartition::IntersectInto(const StrippedPartition& other,
   if (fuse) *entropy_out = FinishEntropy(num_rows_, out->rows_.size());
 }
 
-StrippedPartition StrippedPartition::Intersect(
-    const StrippedPartition& other, std::vector<int32_t>* scratch) const {
-  assert(other.num_rows_ == num_rows_);
-  assert(scratch != nullptr && scratch->size() >= num_rows_);
-  std::vector<int32_t>& tag = *scratch;
-
-  StrippedPartition out;
-  out.num_rows_ = num_rows_;
-
-  const size_t left_groups = NumGroups();
-  if (left_groups == 0 || other.NumGroups() == 0) return out;
-
-  if (tl_counts.size() < left_groups) {
-    tl_counts.resize(left_groups, 0);
-    tl_offsets.resize(left_groups, 0);
-  }
-
-  // Phase 1: tag every row stored in the left partition with its group id.
-  for (size_t g = 0; g < left_groups; ++g) {
-    for (const int32_t* r = GroupBegin(g); r != GroupEnd(g); ++r) {
-      tag[static_cast<size_t>(*r)] = static_cast<int32_t>(g);
-    }
-  }
-
-  // Phase 2: each right group splits by tag into product groups. Rows with
-  // tag -1 are singletons on the left, hence singletons in the product.
-  out.rows_.reserve(std::min(rows_.size(), other.rows_.size()));
-  std::vector<int32_t>& touched = tl_touched;
-  for (size_t h = 0; h < other.NumGroups(); ++h) {
-    touched.clear();
-    for (const int32_t* r = other.GroupBegin(h); r != other.GroupEnd(h); ++r) {
-      const int32_t g = tag[static_cast<size_t>(*r)];
-      if (g < 0) continue;
-      if (tl_counts[static_cast<size_t>(g)] == 0) touched.push_back(g);
-      ++tl_counts[static_cast<size_t>(g)];
-    }
-    // Lay out qualifying (size >= 2) product groups contiguously.
-    int32_t cursor = static_cast<int32_t>(out.rows_.size());
-    for (int32_t g : touched) {
-      if (tl_counts[static_cast<size_t>(g)] >= 2) {
-        out.starts_.push_back(cursor);
-        tl_offsets[static_cast<size_t>(g)] = cursor;
-        cursor += tl_counts[static_cast<size_t>(g)];
-      } else {
-        tl_offsets[static_cast<size_t>(g)] = -1;
-      }
-    }
-    out.rows_.resize(static_cast<size_t>(cursor));
-    for (const int32_t* r = other.GroupBegin(h); r != other.GroupEnd(h); ++r) {
-      const int32_t g = tag[static_cast<size_t>(*r)];
-      if (g < 0) continue;
-      int32_t& pos = tl_offsets[static_cast<size_t>(g)];
-      if (pos >= 0) out.rows_[static_cast<size_t>(pos++)] = *r;
-    }
-    for (int32_t g : touched) tl_counts[static_cast<size_t>(g)] = 0;
-  }
-  if (!out.starts_.empty()) {
-    out.starts_.push_back(static_cast<int32_t>(out.rows_.size()));
-  }
-
-  // Phase 3: restore the scratch vector to all -1 for the next caller.
-  for (size_t g = 0; g < left_groups; ++g) {
-    for (const int32_t* r = GroupBegin(g); r != GroupEnd(g); ++r) {
-      tag[static_cast<size_t>(*r)] = -1;
-    }
-  }
-  return out;
-}
-
 double StrippedPartition::Entropy() const {
   if (num_rows_ == 0) return 0.0;
   EnsureSizeHistogram(num_rows_);

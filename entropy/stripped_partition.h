@@ -10,19 +10,16 @@
 // Intersect uses the probe-table idiom from the FD/MVD-discovery literature
 // (TANE): tag rows of the left partition with their group id, then bucket
 // each right group by tag. Cost is linear in the stored (non-singleton)
-// rows. Two kernels exist:
-//
-//   * the fused kernel (IntersectInto / Intersect over IntersectScratch):
-//     tags carry an epoch stamp, so invalidating the scratch between calls
-//     is a counter increment instead of a restore pass — the legacy
-//     phase 3 is gone. The caller may also request the product's entropy,
-//     which is accumulated from the group sizes phase 2 already computes
-//     (no re-scan of the group structure), and IntersectInto recycles the
-//     output partition's row/starts storage so a warm fold chain performs
-//     no allocation.
-//   * the legacy three-pass kernel (Intersect over a caller-provided all
-//     -1 scratch vector): tag, split, restore. Kept for one release as the
-//     differential oracle behind PliEngineOptions::fused_kernels = false.
+// rows. One kernel (IntersectInto / Intersect over IntersectScratch):
+// tags carry an epoch stamp, so invalidating the scratch between calls is
+// a counter increment instead of a restore pass. The caller may also
+// request the product's entropy, which is accumulated from the group sizes
+// phase 2 already computes (no re-scan of the group structure), and
+// IntersectInto recycles the output partition's row/starts storage so a
+// warm fold chain performs no allocation. (The original three-pass
+// tag/split/restore kernel served one release as the differential oracle
+// for this rewrite and is gone; tests/stripped_partition_test.cc now
+// checks the kernel against brute-force grouping directly.)
 
 #ifndef MAIMON_ENTROPY_STRIPPED_PARTITION_H_
 #define MAIMON_ENTROPY_STRIPPED_PARTITION_H_
@@ -82,13 +79,6 @@ class StrippedPartition {
   void IntersectInto(const StrippedPartition& other, IntersectScratch* scratch,
                      StrippedPartition* out,
                      double* entropy_out = nullptr) const;
-
-  /// Legacy three-pass kernel (tag, split, restore-tags). `scratch` must
-  /// have size >= NumRows() and contain -1 everywhere on entry; it is
-  /// restored to all -1 before returning. The fused_kernels=false
-  /// differential oracle; scheduled for removal after one release.
-  StrippedPartition Intersect(const StrippedPartition& other,
-                              std::vector<int32_t>* scratch) const;
 
   size_t NumRows() const { return num_rows_; }
   /// Number of stripped (size >= 2) groups.

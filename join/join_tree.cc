@@ -2,6 +2,8 @@
 
 #include "join/join_tree.h"
 
+#include <utility>
+
 namespace maimon {
 
 JoinTree BuildMaxOverlapJoinTree(const std::vector<AttrSet>& rels) {
@@ -57,6 +59,45 @@ JoinTree BuildMaxOverlapJoinTree(const std::vector<AttrSet>& rels) {
     for (int c : tree.children[static_cast<size_t>(v)]) stack.push_back(c);
   }
   return tree;
+}
+
+bool JoinTreeFromParents(const std::vector<int>& parents, JoinTree* out) {
+  const size_t m = parents.size();
+  if (m == 0) {
+    *out = JoinTree();
+    return true;
+  }
+  if (parents[0] != -1) return false;
+  for (size_t v = 1; v < m; ++v) {
+    if (parents[v] < 0 || parents[v] >= static_cast<int>(m)) return false;
+  }
+  // Cycle check by path-walking with a visit stamp: every node must reach
+  // the root in at most m steps.
+  for (size_t v = 1; v < m; ++v) {
+    size_t cursor = v;
+    size_t steps = 0;
+    while (parents[cursor] != -1) {
+      cursor = static_cast<size_t>(parents[cursor]);
+      if (++steps > m) return false;
+    }
+  }
+  JoinTree tree;
+  tree.parent = parents;
+  tree.children.resize(m);
+  for (size_t v = 1; v < m; ++v) {
+    tree.children[static_cast<size_t>(parents[v])].push_back(
+        static_cast<int>(v));
+  }
+  tree.preorder.reserve(m);
+  std::vector<int> stack = {0};
+  while (!stack.empty()) {
+    const int v = stack.back();
+    stack.pop_back();
+    tree.preorder.push_back(v);
+    for (int c : tree.children[static_cast<size_t>(v)]) stack.push_back(c);
+  }
+  *out = std::move(tree);
+  return true;
 }
 
 std::vector<int> MinimalCoveringSubtree(const JoinTree& tree,

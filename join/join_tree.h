@@ -37,6 +37,14 @@ struct JoinTree {
 /// every caller sees the identical tree for the same relation list.
 JoinTree BuildMaxOverlapJoinTree(const std::vector<AttrSet>& rels);
 
+/// Rebuilds a full JoinTree (children lists + root-first preorder) from a
+/// parent array, e.g. one deserialized from a store/ file. Validates shape:
+/// exactly one root (parent -1) at index 0, every other parent in range,
+/// and no cycles (every node reaches the root). Returns false — leaving
+/// `*out` untouched — when `parents` is not a valid tree; persisted bytes
+/// are validated, never trusted.
+bool JoinTreeFromParents(const std::vector<int>& parents, JoinTree* out);
+
 /// Smallest connected subtree of `tree` whose nodes jointly cover every
 /// attribute in `touched` (the Steiner subtree of the nodes that mention
 /// them). Because a valid join tree has the running intersection property,

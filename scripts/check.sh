@@ -84,10 +84,20 @@ if command -v python3 >/dev/null 2>&1; then
   echo "--- BENCH snapshots parse (bench_trend.py --check-baselines) ---"
   python3 "${repo_root}/scripts/bench_trend.py" --check-baselines \
           "${repo_root}/BENCH_fig13.json" "${repo_root}/BENCH_fig14.json" \
-          "${repo_root}/BENCH_fig15.json" "${repo_root}/BENCH_serve.json"
+          "${repo_root}/BENCH_fig15.json" "${repo_root}/BENCH_serve.json" \
+          "${repo_root}/BENCH_store.json"
 else
   echo "--- python3 absent: BENCH snapshot parse check skipped"
 fi
+
+# storectl round trip: pack a store (budgeted Nursery mine) and inspect it
+# back. Exercises the Writer -> MappedStore path on a real binary artifact,
+# not just the unit fixtures.
+echo "--- smoke: storectl pack + inspect ---"
+storectl_out="${build_dir}/check_smoke.maimon"
+"${build_dir}/storectl" pack --out="${storectl_out}" --budget=5
+"${build_dir}/storectl" inspect "${storectl_out}"
+rm -f "${storectl_out}"
 
 if [[ -x "${build_dir}/bench_entropy_engine" ]]; then
   echo "--- smoke: bench_entropy_engine ---"

@@ -8,6 +8,7 @@
 
 #include "decomp/yannakakis.h"
 #include "join/join_tree.h"
+#include "store/mapped_store.h"
 
 namespace maimon {
 namespace serve {
@@ -17,13 +18,17 @@ namespace {
 // path: afterwards every stored tuple participates in the full join, which
 // is the precondition for answering from a covering subtree alone. No
 // deadline — a partially reduced snapshot would silently break that
-// identity for every later query.
-ProjectionStore Canonicalize(const ProjectionStore& store,
+// identity for every later query. Stores already marked canonical (loaded
+// from a reduced store file, or re-adopted reduced projections) skip the
+// re-reduction outright — reduction is idempotent, so the skip changes
+// cold-start cost, never results.
+ProjectionStore Canonicalize(ProjectionStore store,
                              const ServiceOptions& options) {
+  if (store.canonical()) return store;
   YannakakisExecutor executor(store);
   executor.Reduce(/*deadline=*/nullptr, options.reduce_threads, options.sink);
   return ProjectionStore(executor.ReducedProjections(),
-                         store.original_cells());
+                         store.original_cells(), /*canonical=*/true);
 }
 
 // Positions of `attrs` inside the ascending column list `columns`.
@@ -39,7 +44,7 @@ std::vector<size_t> SlotsOf(const std::vector<int>& columns, AttrSet attrs) {
 }  // namespace
 
 Snapshot::Snapshot(ProjectionStore store, const ServiceOptions& options)
-    : store_(Canonicalize(store, options)), planner_(&store_) {
+    : store_(Canonicalize(std::move(store), options)), planner_(&store_) {
   point_index_.resize(store_.NumProjections());
   for (size_t v = 0; v < store_.NumProjections(); ++v) {
     const size_t cols = store_.projections()[v].columns.size();
@@ -69,6 +74,25 @@ void QueryService::Swap(ProjectionStore store) {
 
 std::shared_ptr<const Snapshot> QueryService::snapshot() const {
   return std::atomic_load(&snapshot_);
+}
+
+Status QueryService::FromFile(const std::string& path, ServiceOptions options,
+                              std::unique_ptr<QueryService>* out) {
+  ProjectionStore loaded(std::vector<StoredProjection>(), 0);
+  const Status status =
+      store::LoadProjectionStore(path, &loaded, options.sink);
+  if (!status.ok()) return status;
+  *out = std::make_unique<QueryService>(std::move(loaded), options);
+  return Status::Ok();
+}
+
+Status QueryService::SwapFromFile(const std::string& path) {
+  ProjectionStore loaded(std::vector<StoredProjection>(), 0);
+  const Status status =
+      store::LoadProjectionStore(path, &loaded, options_.sink);
+  if (!status.ok()) return status;
+  Swap(std::move(loaded));
+  return Status::Ok();
 }
 
 QueryResult QueryService::ExecuteOnSnapshot(const Snapshot& snap,

@@ -29,6 +29,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -106,6 +107,15 @@ class QueryService {
   explicit QueryService(ProjectionStore store,
                         ServiceOptions options = ServiceOptions());
 
+  /// Cold start from a store file written by store::Writer: maps the file
+  /// (store::MappedStore, CRC-validated), materializes the foreign
+  /// projection store, and publishes it as the serving snapshot. A store
+  /// written as canonical skips the snapshot reduction entirely — this is
+  /// the milliseconds-cold-start path. Corruption surfaces as kDataLoss
+  /// and `*out` stays unset.
+  static Status FromFile(const std::string& path, ServiceOptions options,
+                         std::unique_ptr<QueryService>* out);
+
   /// Answers one query against the current snapshot. Thread-safe and
   /// lock-free on the service itself; any number of threads may call
   /// concurrently, including across Swap().
@@ -115,6 +125,10 @@ class QueryService {
   /// built from `store`. In-flight queries finish on the snapshot they
   /// loaded; new queries see the new store.
   void Swap(ProjectionStore store);
+
+  /// Swap() from a store file (hot-swap to a newer snapshot by path). On
+  /// any load failure the current snapshot stays published untouched.
+  Status SwapFromFile(const std::string& path);
 
   /// The current snapshot (introspection/tests; queries pin their own).
   std::shared_ptr<const Snapshot> snapshot() const;

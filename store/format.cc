@@ -1,0 +1,62 @@
+// Copyright (c) Maimon-cpp authors. Licensed under the MIT license.
+
+#include "store/format.h"
+
+#include <array>
+#include <cstring>
+
+namespace maimon {
+namespace store {
+namespace {
+
+// IEEE CRC32 (reflected 0xEDB88320), the zlib/gzip polynomial, so store
+// CRCs can be cross-checked with any standard tool.
+std::array<uint32_t, 256> MakeCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& CrcTable() {
+  static const std::array<uint32_t, 256> table = MakeCrcTable();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t len) {
+  const std::array<uint32_t, 256>& table = CrcTable();
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < len; ++i) {
+    crc = table[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+uint64_t Fingerprint(uint32_t version, const SectionEntry* entries,
+                     size_t count) {
+  uint64_t hash = FnvMix64(kFnvBasis, version);
+  for (size_t i = 0; i < count; ++i) {
+    hash = FnvMix64(hash, entries[i].kind);
+    hash = FnvMix64(hash, entries[i].length);
+    hash = FnvMix64(hash, entries[i].crc);
+  }
+  return hash;
+}
+
+uint32_t HeaderCrc(const Header& header) {
+  Header copy;
+  std::memcpy(&copy, &header, sizeof(Header));
+  copy.header_crc = 0;
+  return Crc32(&copy, sizeof(Header));
+}
+
+}  // namespace store
+}  // namespace maimon

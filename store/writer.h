@@ -1,0 +1,63 @@
+// Copyright (c) Maimon-cpp authors. Licensed under the MIT license.
+//
+// store::Writer — the write side of the persistent store: snapshots a
+// ProjectionStore plus its mining context (schema, MVDs, S/E/J scalars,
+// column names) into one sectioned binary file (store/format.h).
+//
+// Atomicity: the image is assembled in memory, written to `path`.tmp.<pid>,
+// fsynced, and renamed over `path`. Readers either see the old complete
+// file or the new complete file, never a torn write — which is what lets a
+// live serve/ process hot-swap to a newer snapshot by path.
+
+#ifndef MAIMON_STORE_WRITER_H_
+#define MAIMON_STORE_WRITER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/mvd.h"
+#include "core/schema.h"
+#include "decomp/projection_store.h"
+#include "obs/trace.h"
+#include "util/status.h"
+
+namespace maimon {
+namespace store {
+
+/// Everything stored beside the projections. All fields optional: an empty
+/// schema is derived from the projection attribute sets, empty column
+/// names fall back to DefaultColumnNames over the universe width.
+struct StoreMeta {
+  double epsilon = 0.0;
+  double savings_pct = 0.0;   // S
+  double spurious_pct = 0.0;  // E
+  double j_measure = 0.0;     // J
+  /// Names of the ORIGINAL relation's columns, indexed by attribute id.
+  std::vector<std::string> column_names;
+  /// Mined full MVDs the schema was assembled from.
+  std::vector<Mvd> mvds;
+  /// The decomposition schema; empty means "one relation per projection".
+  Schema schema;
+};
+
+class Writer {
+ public:
+  explicit Writer(StoreMeta meta = StoreMeta()) : meta_(std::move(meta)) {}
+
+  /// Serializes `projs` + the meta into `path` (tmp file + atomic rename).
+  /// The canonical flag is taken from the ProjectionStore itself. Emits a
+  /// "store.write" span and store.writes / store.bytes_written counters.
+  Status Write(const ProjectionStore& projs, const std::string& path,
+               obs::Sink* sink = nullptr) const;
+
+  const StoreMeta& meta() const { return meta_; }
+  StoreMeta& meta() { return meta_; }
+
+ private:
+  StoreMeta meta_;
+};
+
+}  // namespace store
+}  // namespace maimon
+
+#endif  // MAIMON_STORE_WRITER_H_

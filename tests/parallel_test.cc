@@ -170,11 +170,10 @@ struct MiningFingerprint {
 };
 
 MiningFingerprint MineAt(const Relation& relation, int num_threads,
-                         double eps, bool fused_kernels = true) {
+                         double eps) {
   MaimonConfig config;
   config.epsilon = eps;
   config.num_threads = num_threads;
-  config.pli.fused_kernels = fused_kernels;
   config.schemas.max_schemas = 2048;  // fixture tops out near 1000: no cap
   Maimon maimon(relation, config);
   const AsMinerResult schemas = maimon.MineSchemas();
@@ -235,34 +234,6 @@ TEST_CASE(MiningIsThreadCountInvariant) {
       // exactly, not approximately.
       CHECK_EQ(fp.engine_queries, base.engine_queries);
     }
-  }
-}
-
-TEST_CASE(FusedKernelsMineByteIdenticalOutputAtEveryThreadCount) {
-  // The fused PLI kernels (epoch scratch, one-pass intersect+entropy,
-  // indexed subset probe) may start intersection chains from different
-  // cached subsets than the legacy engine — but H is a pure function of
-  // the partition, so every mined artifact must be byte-identical to the
-  // legacy engine's, at every thread count. This is the end-to-end gate
-  // that lets the legacy kernel retire after a release.
-  const PlantedDataset d = MakePlanted(8, 3, 21, /*noise=*/0.02);
-  const MiningFingerprint legacy =
-      MineAt(d.relation, 1, 0.05, /*fused_kernels=*/false);
-  CHECK(!legacy.mvds.empty());
-  CHECK(!legacy.schemas.empty());
-  for (int threads : {1, 2, 8}) {
-    const MiningFingerprint fused =
-        MineAt(d.relation, threads, 0.05, /*fused_kernels=*/true);
-    CHECK_EQ(fused.separators, legacy.separators);
-    CHECK_EQ(fused.mvds, legacy.mvds);
-    CHECK_EQ(fused.conflict_vertices, legacy.conflict_vertices);
-    CHECK_EQ(fused.conflict_edges, legacy.conflict_edges);
-    CHECK_EQ(fused.independent_sets, legacy.independent_sets);
-    CHECK_EQ(fused.schemas, legacy.schemas);
-    CHECK_EQ(fused.top_k, legacy.top_k);
-    // The oracle query stream is driven by the miner, not the kernel, so
-    // even the query counter agrees exactly.
-    CHECK_EQ(fused.engine_queries, legacy.engine_queries);
   }
 }
 

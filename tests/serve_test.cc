@@ -18,9 +18,14 @@
 //     concurrent readers keep the old one alive (8-thread stress, run
 //     under TSan in the tsan lane).
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
+#include <memory>
 #include <set>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -33,6 +38,7 @@
 #include "scheme/assembler.h"
 #include "serve/planner.h"
 #include "serve/service.h"
+#include "store/writer.h"
 #include "tests/test_util.h"
 
 namespace maimon {
@@ -442,6 +448,75 @@ TEST_CASE(SwapPublishesTheNewStoreAtomically) {
   service.Swap(ProjectionStore(b.data.relation, b.schema));
   CHECK_EQ(service.generation(), uint64_t{1});
   CheckAnswer(service, q, DirectAnswer(b.data.relation, q));
+}
+
+TEST_CASE(FromFileColdStartAnswersByteIdenticalToCsvBuiltService) {
+  // The store/ cold-start contract: a service started from a store file
+  // (canonical or not) answers every query byte-identically to the service
+  // built from the relation in memory. Canonical stores additionally skip
+  // the snapshot re-reduction — same answers, cheaper start.
+  const Fixture f = MakeChainFixture(9, 3, 9, /*noise=*/0.02);
+  const ProjectionStore built(f.data.relation, f.schema);
+  const serve::QueryService reference(
+      ProjectionStore(f.data.relation, f.schema));
+
+  const std::string base = "/tmp/maimon_serve_test_" +
+                           std::to_string(static_cast<long>(::getpid()));
+  const std::string raw_path = base + "_raw.maimon";
+  const std::string canon_path = base + "_canon.maimon";
+  const store::Writer writer;
+  CHECK(writer.Write(built, raw_path).ok());
+  YannakakisExecutor executor(built);
+  CHECK(executor.Reduce(nullptr, 1, nullptr).ok());
+  const ProjectionStore canonical(executor.ReducedProjections(),
+                                  built.original_cells(), /*canonical=*/true);
+  CHECK(writer.Write(canonical, canon_path).ok());
+
+  for (const std::string& path : {raw_path, canon_path}) {
+    std::unique_ptr<serve::QueryService> cold;
+    CHECK(serve::QueryService::FromFile(path, serve::ServiceOptions(), &cold)
+              .ok());
+    for (const serve::Query& q :
+         EnumerateQueries(f.data.relation.Universe())) {
+      const serve::QueryResult want = reference.Execute(q);
+      CHECK(want.status.ok());
+      CheckAnswer(*cold, q,
+                  std::set<std::vector<uint32_t>>(want.tuples.begin(),
+                                                  want.tuples.end()));
+    }
+  }
+  // A failed cold start (here: no such file) reports and *out stays unset.
+  std::unique_ptr<serve::QueryService> none;
+  CHECK(!serve::QueryService::FromFile(base + "_missing.maimon",
+                                       serve::ServiceOptions(), &none)
+             .ok());
+  CHECK(none == nullptr);
+  std::remove(raw_path.c_str());
+  std::remove(canon_path.c_str());
+}
+
+TEST_CASE(SwapFromFileHotSwapsAndFailureKeepsTheOldSnapshot) {
+  const Fixture a = MakeChainFixture(8, 2, 5);
+  const Fixture b = MakeChainFixture(8, 2, 17);
+  serve::QueryService service(ProjectionStore(a.data.relation, a.schema));
+  serve::Query q;
+  q.attrs = a.data.relation.Universe();
+  CheckAnswer(service, q, DirectAnswer(a.data.relation, q));
+
+  const std::string path = "/tmp/maimon_serve_test_" +
+                           std::to_string(static_cast<long>(::getpid())) +
+                           "_swap.maimon";
+  const store::Writer writer;
+  CHECK(writer.Write(ProjectionStore(b.data.relation, b.schema), path).ok());
+  CHECK(service.SwapFromFile(path).ok());
+  CHECK_EQ(service.generation(), uint64_t{1});
+  CheckAnswer(service, q, DirectAnswer(b.data.relation, q));
+
+  // A failed swap (missing file) leaves the b snapshot serving untouched.
+  CHECK(!service.SwapFromFile(path + ".gone").ok());
+  CHECK_EQ(service.generation(), uint64_t{1});
+  CheckAnswer(service, q, DirectAnswer(b.data.relation, q));
+  std::remove(path.c_str());
 }
 
 TEST_CASE(ConcurrentQueryStressAcrossSwap) {

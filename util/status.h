@@ -18,6 +18,10 @@ class Status {
     kDeadlineExceeded = 1,
     kResourceExhausted = 2,
     kInvalidArgument = 3,
+    /// Persistent data failed validation (store/ header, CRC, or bounds):
+    /// the bytes on disk cannot be trusted, unlike kInvalidArgument where
+    /// the caller's request is at fault.
+    kDataLoss = 4,
   };
 
   Status() : code_(Code::kOk) {}
@@ -33,6 +37,9 @@ class Status {
   }
   static Status InvalidArgument(std::string message) {
     return Status(Code::kInvalidArgument, std::move(message));
+  }
+  static Status DataLoss(std::string message) {
+    return Status(Code::kDataLoss, std::move(message));
   }
 
   bool ok() const { return code_ == Code::kOk; }
